@@ -1,0 +1,60 @@
+//! Criterion benchmarks for the Hurst estimators of Table 3 and
+//! Figs 11–12: variance-time, R/S and Whittle on paper-scale series.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vbr_fgn::DaviesHarte;
+use vbr_lrd::{rs_analysis, variance_time, whittle_aggregated, RsOptions, VtOptions};
+
+fn lrd_series(n: usize) -> Vec<f64> {
+    DaviesHarte::new(0.8, 1.0)
+        .generate(n, 7)
+        .into_iter()
+        .map(|v| v + 10.0)
+        .collect()
+}
+
+fn bench_variance_time(c: &mut Criterion) {
+    let x = lrd_series(171_000);
+    let mut g = c.benchmark_group("table3_estimators");
+    g.sample_size(10);
+    g.bench_function("variance_time_fig11", |b| {
+        b.iter(|| variance_time(black_box(&x), &VtOptions::default()))
+    });
+    g.bench_function("rs_analysis_fig12", |b| {
+        b.iter(|| rs_analysis(black_box(&x), &RsOptions::default()))
+    });
+    g.bench_function("whittle_aggregated_100_700", |b| {
+        b.iter(|| whittle_aggregated(black_box(&x), &[100, 700]))
+    });
+    g.bench_function("local_whittle", |b| {
+        b.iter(|| vbr_lrd::local_whittle(black_box(&x), None))
+    });
+    g.bench_function("wavelet_hurst", |b| {
+        b.iter(|| vbr_lrd::wavelet_hurst(black_box(&x), 2, None))
+    });
+    g.finish();
+}
+
+fn bench_estimate_params(c: &mut Criterion) {
+    // The full 4-parameter estimation pipeline of §4.2.
+    let trace =
+        vbr_video::generate_screenplay(&vbr_video::ScreenplayConfig::short(40_000, 9));
+    let mut g = c.benchmark_group("model_estimation");
+    g.sample_size(10);
+    g.bench_function("estimate_trace_40000", |b| {
+        b.iter(|| {
+            vbr_model::estimate_trace(
+                black_box(&trace),
+                &vbr_model::EstimateOptions {
+                    hurst_method: vbr_model::HurstMethod::VarianceTime,
+                    ..Default::default()
+                },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_variance_time, bench_estimate_params);
+criterion_main!(benches);

@@ -1,0 +1,66 @@
+//! Criterion benchmarks for the traffic generators (§4): Hosking's
+//! O(n²) algorithm vs the Davies–Harte O(n log n) extension — the paper
+//! reports 10 hours for 171 000 Hosking points on a 1994 workstation —
+//! plus the marginal transform and the full synthetic-movie generator.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vbr_fgn::{DaviesHarte, Hosking, MarginalTransform, TableMode};
+use vbr_model::{ModelParams, SourceModel};
+use vbr_stats::dist::GammaPareto;
+use vbr_video::{generate_screenplay, ScreenplayConfig};
+
+fn bench_lrd_generators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lrd_generators");
+    g.sample_size(10);
+    // The ablation bench DESIGN.md calls out: same output law, wildly
+    // different complexity class.
+    for &n in &[1_000usize, 4_000, 16_000] {
+        g.bench_with_input(BenchmarkId::new("hosking", n), &n, |b, &n| {
+            let gen = Hosking::new(0.8, 1.0);
+            b.iter(|| gen.generate(black_box(n), 1))
+        });
+        g.bench_with_input(BenchmarkId::new("davies_harte", n), &n, |b, &n| {
+            let gen = DaviesHarte::new(0.8, 1.0);
+            b.iter(|| gen.generate(black_box(n), 1))
+        });
+    }
+    // Full paper length — Davies–Harte only (Hosking takes minutes).
+    g.bench_function("davies_harte_171000", |b| {
+        let gen = DaviesHarte::new(0.8, 1.0);
+        b.iter(|| gen.generate(black_box(171_000), 1))
+    });
+    g.finish();
+}
+
+fn bench_marginal_transform(c: &mut Criterion) {
+    let mut g = c.benchmark_group("marginal_transform");
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let gauss = DaviesHarte::new(0.8, 1.0).generate(171_000, 2);
+    g.sample_size(10);
+    g.bench_function("table_10000", |b| {
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+        b.iter(|| xf.map_series(black_box(&gauss)))
+    });
+    g.bench_function("exact", |b| {
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Exact);
+        b.iter(|| xf.map_series(black_box(&gauss)))
+    });
+    g.finish();
+}
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut g = c.benchmark_group("end_to_end_generation");
+    g.sample_size(10);
+    g.bench_function("source_model_full_20000_frames", |b| {
+        let m = SourceModel::full(ModelParams::paper_frame_defaults());
+        b.iter(|| m.generate_trace(black_box(20_000), 24.0, 30, 3))
+    });
+    g.bench_function("screenplay_20000_frames", |b| {
+        b.iter(|| generate_screenplay(&ScreenplayConfig::short(black_box(20_000), 4)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_lrd_generators, bench_marginal_transform, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,79 @@
+//! Criterion benchmarks for the numerical kernels behind Figs 7–8
+//! (autocorrelation, periodogram) and everything FFT-based.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use vbr_stats::rng::Xoshiro256;
+
+fn series(n: usize) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    (0..n).map(|_| rng.standard_normal() + 10.0).collect()
+}
+
+fn bench_fft(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fft");
+    for &n in &[1024usize, 16_384, 262_144] {
+        let x: Vec<vbr_fft::Complex> = series(n)
+            .into_iter()
+            .map(vbr_fft::Complex::from_re)
+            .collect();
+        g.bench_with_input(BenchmarkId::new("pow2", n), &x, |b, x| {
+            b.iter(|| vbr_fft::fft(black_box(x)))
+        });
+    }
+    // Bluestein path: prime length.
+    let x: Vec<vbr_fft::Complex> = series(10_007)
+        .into_iter()
+        .map(vbr_fft::Complex::from_re)
+        .collect();
+    g.bench_function("bluestein_10007", |b| b.iter(|| vbr_fft::fft(black_box(&x))));
+    g.finish();
+}
+
+fn bench_acf(c: &mut Criterion) {
+    // Fig 7 workload: lag-10 000 ACF of the 171 000-frame series.
+    let x = series(171_000);
+    let mut g = c.benchmark_group("acf_fig7");
+    g.sample_size(10);
+    g.bench_function("fft_based_lag10000", |b| {
+        b.iter(|| vbr_stats::autocorrelation(black_box(&x), 10_000))
+    });
+    let small = series(20_000);
+    g.bench_function("direct_lag100_n20000", |b| {
+        b.iter(|| vbr_stats::acf::autocorrelation_direct(black_box(&small), 100))
+    });
+    g.finish();
+}
+
+fn bench_periodogram(c: &mut Criterion) {
+    // Fig 8 workload.
+    let x = series(171_000);
+    let mut g = c.benchmark_group("periodogram_fig8");
+    g.sample_size(10);
+    g.bench_function("full_trace", |b| {
+        b.iter(|| vbr_stats::Periodogram::compute(black_box(&x)))
+    });
+    g.finish();
+}
+
+fn bench_special(c: &mut Criterion) {
+    let mut g = c.benchmark_group("special_functions");
+    g.bench_function("norm_quantile", |b| {
+        let mut p = 0.0001f64;
+        b.iter(|| {
+            p = if p > 0.999 { 0.0001 } else { p + 0.000017 };
+            vbr_stats::special::norm_quantile(black_box(p))
+        })
+    });
+    g.bench_function("gamma_p", |b| {
+        let mut x = 0.1f64;
+        b.iter(|| {
+            x = if x > 60.0 { 0.1 } else { x + 0.013 };
+            vbr_stats::special::gamma_p(black_box(19.7), black_box(x))
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_fft, bench_acf, bench_periodogram, bench_special);
+criterion_main!(benches);

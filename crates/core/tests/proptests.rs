@@ -1,0 +1,90 @@
+//! Property-based tests for the source model.
+
+use proptest::prelude::*;
+use vbr_model::{Dar1, ModelParams, SourceModel};
+
+fn params_strategy() -> impl Strategy<Value = ModelParams> {
+    (
+        1e2f64..1e6,     // mu
+        0.05f64..0.6,    // CoV
+        1.5f64..15.0,    // tail slope
+        0.55f64..0.95,   // H
+    )
+        .prop_map(|(mu, cv, a, h)| ModelParams::new(mu, mu * cv, a, h))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_frames_positive_and_finite(p in params_strategy(), seed in 0u64..1000) {
+        let m = SourceModel::full(p);
+        let xs = m.generate_frames(512, seed);
+        prop_assert_eq!(xs.len(), 512);
+        for &x in &xs {
+            prop_assert!(x > 0.0 && x.is_finite());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic(p in params_strategy(), seed in 0u64..1000) {
+        let m = SourceModel::full(p);
+        prop_assert_eq!(m.generate_frames(128, seed), m.generate_frames(128, seed));
+    }
+
+    #[test]
+    fn trace_conserves_frame_bytes(p in params_strategy(), spf in 1usize..40) {
+        let m = SourceModel::full(p);
+        let t = m.generate_trace(64, 24.0, spf, 9);
+        let frames = m.generate_frames(64, 9);
+        for (i, &fb) in frames.iter().enumerate() {
+            prop_assert_eq!(t.frame_bytes(i) as u64, fb.round() as u64);
+        }
+    }
+
+    #[test]
+    fn sample_mean_tracks_marginal_mean(p in params_strategy()) {
+        use vbr_stats::dist::ContinuousDist;
+        let m = SourceModel::iid_gamma_pareto(p); // iid: fast convergence
+        let xs = m.generate_frames(20_000, 3);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let want = p.marginal().mean();
+        prop_assert!(
+            (mean - want).abs() / want < 0.08,
+            "sample mean {mean} vs marginal mean {want}"
+        );
+    }
+
+    #[test]
+    fn dar1_holds_values_with_probability_rho(
+        p in params_strategy(),
+        rho in 0.0f64..0.98,
+    ) {
+        let d = Dar1::new(p.marginal(), rho);
+        let xs = d.generate_frames(8_000, 5);
+        // Fraction of repeats ≈ rho (continuous marginal ⇒ redraws differ).
+        let repeats = xs.windows(2).filter(|w| w[0] == w[1]).count() as f64
+            / (xs.len() - 1) as f64;
+        prop_assert!(
+            (repeats - rho).abs() < 0.05,
+            "repeat fraction {repeats} vs rho {rho}"
+        );
+    }
+
+    #[test]
+    fn gaussian_variant_matches_requested_moments(p in params_strategy()) {
+        let m = SourceModel::gaussian_marginal(p);
+        let n = 20_000usize;
+        let xs = m.generate_frames(n, 7);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        // The Fig 9 lesson applies to this very test: under LRD the sample
+        // mean has std dev ~ sigma·n^{H-1}, so the band must widen with H.
+        let band = 5.0 * (p.sigma_gamma / p.mu_gamma) * (n as f64).powf(p.hurst - 1.0);
+        prop_assert!(
+            (mean - p.mu_gamma).abs() / p.mu_gamma < band.max(0.05),
+            "mean {mean} vs mu {} (band {band:.3})",
+            p.mu_gamma
+        );
+        prop_assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+}

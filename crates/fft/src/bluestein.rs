@@ -1,0 +1,138 @@
+//! Bluestein's chirp-z algorithm: FFT of *arbitrary* length via a
+//! power-of-two convolution.
+//!
+//! The DFT is rewritten as a convolution
+//! `X_k = b*_k Σ_j (x_j b*_j) b_{k-j}` with the chirp
+//! `b_j = e^{iπ j²/n}`, which is evaluated with zero-padded radix-2 FFTs.
+
+use crate::complex::Complex;
+use crate::radix2::{fft_pow2_in_place, is_pow2, next_pow2, Direction};
+
+/// FFT of arbitrary length (in place semantics via owned return).
+///
+/// Dispatches to the radix-2 kernel for power-of-two lengths and to
+/// Bluestein's algorithm otherwise.
+pub fn fft_any(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    if n <= 1 {
+        return input.to_vec();
+    }
+    if is_pow2(n) {
+        let mut buf = input.to_vec();
+        fft_pow2_in_place(&mut buf, dir);
+        return buf;
+    }
+    bluestein(input, dir)
+}
+
+fn bluestein(input: &[Complex], dir: Direction) -> Vec<Complex> {
+    let n = input.len();
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    // Chirp b_j = exp(sign * iπ j² / n). Compute j² mod 2n to keep the
+    // angle argument small (j² overflows f64 precision for large j).
+    let m2 = 2 * n as u64;
+    let chirp: Vec<Complex> = (0..n as u64)
+        .map(|j| {
+            let jsq = (j * j) % m2;
+            Complex::cis(sign * std::f64::consts::PI * jsq as f64 / n as f64)
+        })
+        .collect();
+
+    let conv_len = next_pow2(2 * n - 1);
+
+    // a_j = x_j * b_j, zero padded.
+    let mut a = vec![Complex::ZERO; conv_len];
+    for j in 0..n {
+        a[j] = input[j] * chirp[j];
+    }
+
+    // b kernel: b*_j at positions j and conv_len - j (wrap-around).
+    let mut b = vec![Complex::ZERO; conv_len];
+    b[0] = chirp[0].conj();
+    for j in 1..n {
+        let c = chirp[j].conj();
+        b[j] = c;
+        b[conv_len - j] = c;
+    }
+
+    fft_pow2_in_place(&mut a, Direction::Forward);
+    fft_pow2_in_place(&mut b, Direction::Forward);
+    for (x, y) in a.iter_mut().zip(&b) {
+        *x *= *y;
+    }
+    fft_pow2_in_place(&mut a, Direction::Inverse);
+    let scale = 1.0 / conv_len as f64;
+
+    (0..n).map(|k| (a[k] * chirp[k]).scale(scale)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex], dir: Direction) -> Vec<Complex> {
+        let n = x.len();
+        let sign = if dir == Direction::Forward { -1.0 } else { 1.0 };
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (j as f64) * (k as f64)
+                        / n as f64;
+                    acc += v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    #[test]
+    fn matches_naive_for_awkward_sizes() {
+        for &n in &[3usize, 5, 6, 7, 12, 17, 30, 97, 100] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64).sin(), (2.0 * i as f64).cos()))
+                .collect();
+            let got = fft_any(&x, Direction::Forward);
+            let want = naive_dft(&x, Direction::Forward);
+            for (g, w) in got.iter().zip(&want) {
+                assert!((*g - *w).abs() < 1e-8, "n={n}: {g:?} vs {w:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_round_trip_odd_length() {
+        let n = 101;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::from_re(i as f64)).collect();
+        let y = fft_any(&x, Direction::Forward);
+        let z = fft_any(&y, Direction::Inverse);
+        for (orig, got) in x.iter().zip(&z) {
+            assert!((*orig - got.scale(1.0 / n as f64)).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn large_prime_stays_accurate() {
+        // j² naive angle computation loses precision around n ~ 1e5;
+        // the mod-2n trick must keep the error tiny.
+        let n = 10_007; // prime
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::from_re(((i * 37) % 101) as f64 / 101.0))
+            .collect();
+        let y = fft_any(&x, Direction::Forward);
+        // Parseval: Σ|x|² = (1/n) Σ|X|².
+        let ex: f64 = x.iter().map(|v| v.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|v| v.norm_sqr()).sum::<f64>() / n as f64;
+        assert!((ex - ey).abs() / ex < 1e-9, "{ex} vs {ey}");
+    }
+
+    #[test]
+    fn length_one_is_identity() {
+        let x = vec![Complex::new(2.0, 3.0)];
+        assert_eq!(fft_any(&x, Direction::Forward), x);
+    }
+}

@@ -1,0 +1,112 @@
+//! FFT-based convolution and correlation of real sequences.
+//!
+//! Used by the statistics crate to compute autocovariances of long series
+//! in `O(n log n)` instead of `O(n·lag)`.
+
+use crate::complex::Complex;
+use crate::radix2::{fft_pow2_in_place, next_pow2, Direction};
+
+/// Linear convolution of two real sequences (`len = a.len() + b.len() - 1`).
+pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    if a.is_empty() || b.is_empty() {
+        return Vec::new();
+    }
+    let out_len = a.len() + b.len() - 1;
+    let m = next_pow2(out_len);
+    let mut fa: Vec<Complex> = Vec::with_capacity(m);
+    fa.extend(a.iter().map(|&v| Complex::from_re(v)));
+    fa.resize(m, Complex::ZERO);
+    let mut fb: Vec<Complex> = Vec::with_capacity(m);
+    fb.extend(b.iter().map(|&v| Complex::from_re(v)));
+    fb.resize(m, Complex::ZERO);
+
+    fft_pow2_in_place(&mut fa, Direction::Forward);
+    fft_pow2_in_place(&mut fb, Direction::Forward);
+    for (x, y) in fa.iter_mut().zip(&fb) {
+        *x *= *y;
+    }
+    fft_pow2_in_place(&mut fa, Direction::Inverse);
+    fa.truncate(out_len);
+    fa.into_iter().map(|z| z.re / m as f64).collect()
+}
+
+/// Raw (non-normalised) autocorrelation sums
+/// `s_k = Σ_{i=0}^{n-1-k} x_i x_{i+k}` for `k = 0..=max_lag`,
+/// computed by FFT in `O(n log n)`.
+pub fn autocorr_sums(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let n = x.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let max_lag = max_lag.min(n - 1);
+    // Zero-pad to >= 2n to make circular convolution linear.
+    let m = next_pow2(2 * n);
+    let mut buf: Vec<Complex> = Vec::with_capacity(m);
+    buf.extend(x.iter().map(|&v| Complex::from_re(v)));
+    buf.resize(m, Complex::ZERO);
+    fft_pow2_in_place(&mut buf, Direction::Forward);
+    for z in buf.iter_mut() {
+        *z = Complex::from_re(z.norm_sqr());
+    }
+    fft_pow2_in_place(&mut buf, Direction::Inverse);
+    (0..=max_lag).map(|k| buf[k].re / m as f64).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; a.len() + b.len() - 1];
+        for (i, &x) in a.iter().enumerate() {
+            for (j, &y) in b.iter().enumerate() {
+                out[i + j] += x * y;
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn convolution_matches_naive() {
+        let a: Vec<f64> = (0..17).map(|i| (i as f64 * 0.5).sin()).collect();
+        let b: Vec<f64> = (0..9).map(|i| 1.0 / (i + 1) as f64).collect();
+        let got = convolve(&a, &b);
+        let want = naive_convolve(&a, &b);
+        assert_eq!(got.len(), want.len());
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn convolution_with_delta_is_identity() {
+        let a = vec![1.0, -2.0, 3.0, 0.5];
+        let got = convolve(&a, &[1.0]);
+        for (g, w) in got.iter().zip(&a) {
+            assert!((g - w).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn autocorr_matches_naive() {
+        let x: Vec<f64> = (0..50).map(|i| ((i * i) % 13) as f64 - 6.0).collect();
+        let got = autocorr_sums(&x, 10);
+        for k in 0..=10 {
+            let want: f64 = (0..x.len() - k).map(|i| x[i] * x[i + k]).sum();
+            assert!((got[k] - want).abs() < 1e-8, "lag {k}");
+        }
+    }
+
+    #[test]
+    fn autocorr_lag_clamped_to_series() {
+        let x = vec![1.0, 2.0, 3.0];
+        let got = autocorr_sums(&x, 100);
+        assert_eq!(got.len(), 3);
+    }
+
+    #[test]
+    fn empty_inputs() {
+        assert!(convolve(&[], &[1.0]).is_empty());
+        assert!(autocorr_sums(&[], 5).is_empty());
+    }
+}

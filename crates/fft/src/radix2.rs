@@ -1,0 +1,167 @@
+//! Iterative radix-2 Cooley–Tukey FFT for power-of-two lengths.
+//!
+//! The transform is performed in place: bit-reversal permutation followed by
+//! `log₂ n` butterfly passes with precomputed twiddle factors.
+
+use crate::complex::Complex;
+
+/// Direction of the transform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// `X_k = Σ_j x_j e^{-2πi jk/n}` (no normalisation).
+    Forward,
+    /// `x_j = Σ_k X_k e^{+2πi jk/n}` (no normalisation; divide by `n`
+    /// yourself or use [`crate::ifft`]).
+    Inverse,
+}
+
+/// Returns true when `n` is a power of two (and nonzero).
+#[inline]
+pub fn is_pow2(n: usize) -> bool {
+    n != 0 && n & (n - 1) == 0
+}
+
+/// Smallest power of two `>= n`.
+#[inline]
+pub fn next_pow2(n: usize) -> usize {
+    n.next_power_of_two()
+}
+
+/// In-place radix-2 FFT. Panics if `data.len()` is not a power of two.
+pub fn fft_pow2_in_place(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(is_pow2(n), "radix-2 FFT requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+
+    bit_reverse_permute(data);
+
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Bit-reversal permutation of a power-of-two-length slice.
+fn bit_reverse_permute(data: &mut [Complex]) {
+    let n = data.len();
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive_dft(x: &[Complex], dir: Direction) -> Vec<Complex> {
+        let n = x.len();
+        let sign = if dir == Direction::Forward { -1.0 } else { 1.0 };
+        (0..n)
+            .map(|k| {
+                let mut acc = Complex::ZERO;
+                for (j, &v) in x.iter().enumerate() {
+                    let ang = sign * 2.0 * std::f64::consts::PI * (j * k) as f64 / n as f64;
+                    acc += v * Complex::cis(ang);
+                }
+                acc
+            })
+            .collect()
+    }
+
+    fn assert_close(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() < tol, "{x:?} vs {y:?}");
+        }
+    }
+
+    #[test]
+    fn matches_naive_dft_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 64, 128] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            let mut y = x.clone();
+            fft_pow2_in_place(&mut y, Direction::Forward);
+            assert_close(&y, &naive_dft(&x, Direction::Forward), 1e-9 * n as f64);
+        }
+    }
+
+    #[test]
+    fn forward_then_inverse_recovers_input() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n).map(|i| Complex::new(i as f64, -(i as f64) / 3.0)).collect();
+        let mut y = x.clone();
+        fft_pow2_in_place(&mut y, Direction::Forward);
+        fft_pow2_in_place(&mut y, Direction::Inverse);
+        for (orig, got) in x.iter().zip(&y) {
+            let scaled = got.scale(1.0 / n as f64);
+            assert!((*orig - scaled).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_flat_spectrum() {
+        let mut x = vec![Complex::ZERO; 32];
+        x[0] = Complex::ONE;
+        fft_pow2_in_place(&mut x, Direction::Forward);
+        for v in &x {
+            assert!((*v - Complex::ONE).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn constant_transforms_to_impulse() {
+        let n = 64;
+        let mut x = vec![Complex::ONE; n];
+        fft_pow2_in_place(&mut x, Direction::Forward);
+        assert!((x[0] - Complex::from_re(n as f64)).abs() < 1e-9);
+        for v in &x[1..] {
+            assert!(v.abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pow2_predicates() {
+        assert!(is_pow2(1) && is_pow2(2) && is_pow2(1024));
+        assert!(!is_pow2(0) && !is_pow2(3) && !is_pow2(1000));
+        assert_eq!(next_pow2(1000), 1024);
+        assert_eq!(next_pow2(1024), 1024);
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn rejects_non_pow2() {
+        let mut x = vec![Complex::ZERO; 3];
+        fft_pow2_in_place(&mut x, Direction::Forward);
+    }
+}

@@ -1,0 +1,87 @@
+//! Conveniences for transforming real-valued signals.
+//!
+//! The analysis code in this workspace (periodograms, FFT-based
+//! autocorrelation, circulant embedding) always starts from real `f64`
+//! series; these helpers wrap the complex kernels.
+
+use crate::bluestein::fft_any;
+use crate::complex::Complex;
+use crate::radix2::Direction;
+
+/// Forward DFT of a real signal. Returns all `n` complex bins
+/// (the upper half is the conjugate mirror of the lower half).
+pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
+    let buf: Vec<Complex> = signal.iter().map(|&v| Complex::from_re(v)).collect();
+    fft_any(&buf, Direction::Forward)
+}
+
+/// Inverse DFT returning only the real parts, normalised by `1/n`.
+///
+/// Intended for spectra known to correspond to real signals; any residual
+/// imaginary part (numerical noise) is discarded.
+pub fn ifft_real(spectrum: &[Complex]) -> Vec<f64> {
+    let n = spectrum.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let out = fft_any(spectrum, Direction::Inverse);
+    out.into_iter().map(|z| z.re / n as f64).collect()
+}
+
+/// Power spectrum `|X_k|²` of a real signal (all `n` bins, unnormalised).
+pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
+    fft_real(signal).into_iter().map(|z| z.norm_sqr()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn real_round_trip() {
+        let x: Vec<f64> = (0..100).map(|i| (i as f64 * 0.31).sin() + 2.0).collect();
+        let spec = fft_real(&x);
+        let back = ifft_real(&spec);
+        for (a, b) in x.iter().zip(&back) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn hermitian_symmetry() {
+        let x: Vec<f64> = (0..33).map(|i| (i as f64).cos()).collect();
+        let spec = fft_real(&x);
+        let n = spec.len();
+        for k in 1..n {
+            let mirrored = spec[n - k].conj();
+            assert!((spec[k] - mirrored).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn pure_tone_concentrates_power() {
+        let n = 128;
+        let f = 7; // cycles per record
+        let x: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f as f64 * i as f64 / n as f64).cos())
+            .collect();
+        let p = power_spectrum(&x);
+        // Power should sit at bins f and n-f, each (n/2)².
+        let expect = (n as f64 / 2.0).powi(2);
+        assert!((p[f] - expect).abs() < 1e-6);
+        assert!((p[n - f] - expect).abs() < 1e-6);
+        let rest: f64 = p
+            .iter()
+            .enumerate()
+            .filter(|(k, _)| *k != f && *k != n - f)
+            .map(|(_, v)| v)
+            .sum();
+        assert!(rest < 1e-6);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(fft_real(&[]).is_empty());
+        assert!(ifft_real(&[]).is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Property-based tests for the FFT substrate.
+
+use proptest::prelude::*;
+use vbr_fft::{autocorr_sums, convolve, fft, ifft, Complex, Direction};
+
+fn complex_vec(max_len: usize) -> impl Strategy<Value = Vec<Complex>> {
+    prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1..max_len)
+        .prop_map(|v| v.into_iter().map(|(re, im)| Complex::new(re, im)).collect())
+}
+
+proptest! {
+    #[test]
+    fn round_trip_recovers_input(x in complex_vec(64)) {
+        let back = ifft(&fft(&x));
+        for (a, b) in x.iter().zip(&back) {
+            prop_assert!((*a - *b).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved(x in complex_vec(64)) {
+        let y = fft(&x);
+        let ex: f64 = x.iter().map(|z| z.norm_sqr()).sum();
+        let ey: f64 = y.iter().map(|z| z.norm_sqr()).sum::<f64>() / x.len() as f64;
+        // Relative tolerance with an absolute floor for near-zero energy.
+        prop_assert!((ex - ey).abs() <= 1e-8 * ex.max(1.0));
+    }
+
+    #[test]
+    fn forward_of_conjugate_reverses_spectrum(x in complex_vec(32)) {
+        // DFT(conj(x))_k = conj(DFT(x)_{-k})
+        let n = x.len();
+        let xc: Vec<Complex> = x.iter().map(|z| z.conj()).collect();
+        let f = fft(&x);
+        let fc = fft(&xc);
+        for k in 0..n {
+            let mirrored = f[(n - k) % n].conj();
+            prop_assert!((fc[k] - mirrored).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn convolution_is_commutative(
+        a in prop::collection::vec(-50.0f64..50.0, 1..32),
+        b in prop::collection::vec(-50.0f64..50.0, 1..32),
+    ) {
+        let ab = convolve(&a, &b);
+        let ba = convolve(&b, &a);
+        prop_assert_eq!(ab.len(), ba.len());
+        for (x, y) in ab.iter().zip(&ba) {
+            prop_assert!((x - y).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn convolution_length_and_dc(
+        a in prop::collection::vec(-50.0f64..50.0, 1..32),
+        b in prop::collection::vec(-50.0f64..50.0, 1..32),
+    ) {
+        let c = convolve(&a, &b);
+        prop_assert_eq!(c.len(), a.len() + b.len() - 1);
+        // Sum of convolution == product of sums.
+        let sc: f64 = c.iter().sum();
+        let want: f64 = a.iter().sum::<f64>() * b.iter().sum::<f64>();
+        prop_assert!((sc - want).abs() < 1e-6 * want.abs().max(1.0));
+    }
+
+    #[test]
+    fn autocorr_lag0_is_energy(x in prop::collection::vec(-50.0f64..50.0, 1..64)) {
+        let s = autocorr_sums(&x, 0);
+        let energy: f64 = x.iter().map(|v| v * v).sum();
+        prop_assert!((s[0] - energy).abs() < 1e-6 * energy.max(1.0));
+    }
+
+    #[test]
+    fn autocorr_lag0_dominates(x in prop::collection::vec(-50.0f64..50.0, 2..64)) {
+        // Cauchy-Schwarz: |s_k| <= s_0 for autocorrelation sums of the
+        // same (zero-padded) sequence.
+        let s = autocorr_sums(&x, x.len() - 1);
+        for (k, v) in s.iter().enumerate().skip(1) {
+            prop_assert!(v.abs() <= s[0] + 1e-6, "lag {} breaks bound", k);
+        }
+    }
+
+    #[test]
+    fn fft_any_agrees_with_direction_inverse(x in complex_vec(40)) {
+        // fft_any(Inverse) is the unnormalised adjoint: applying it to the
+        // forward transform and dividing by n must recover the signal.
+        let n = x.len();
+        let f = vbr_fft::fft_any(&x, Direction::Forward);
+        let raw = vbr_fft::fft_any(&f, Direction::Inverse);
+        for (a, b) in x.iter().zip(&raw) {
+            prop_assert!((*a - b.scale(1.0 / n as f64)).abs() < 1e-7);
+        }
+    }
+}

@@ -1,0 +1,215 @@
+//! ARMA(p, q) filtering — the short-range augmentation the paper leaves
+//! as future work (§4: "An additional set of short-term correlation
+//! parameters may be included by combining this model with an ARMA
+//! filter…").
+//!
+//! The filter is applied to a (Gaussian) driving sequence:
+//! `y_t = Σ φ_i y_{t−i} + x_t + Σ θ_j x_{t−j}`, then rescaled to unit
+//! marginal variance so it can slot in front of the marginal transform
+//! without disturbing the target distribution. Driving the filter with
+//! fractional Gaussian noise yields an LRD process with tunable
+//! short-range structure (a fARIMA(p, d, q)-like process).
+
+use vbr_stats::rng::Xoshiro256;
+
+/// An ARMA(p, q) filter with Gaussian-variance normalisation.
+#[derive(Debug, Clone)]
+pub struct ArmaFilter {
+    /// Autoregressive coefficients φ₁..φ_p.
+    ar: Vec<f64>,
+    /// Moving-average coefficients θ₁..θ_q.
+    ma: Vec<f64>,
+}
+
+impl ArmaFilter {
+    /// Creates a filter. The AR polynomial must be (empirically) stable;
+    /// this is checked by requiring `Σ|φ_i| < 1`, a sufficient condition
+    /// that covers the models used for video (small p, positive φ).
+    pub fn new(ar: Vec<f64>, ma: Vec<f64>) -> Self {
+        let s: f64 = ar.iter().map(|c| c.abs()).sum();
+        assert!(
+            s < 1.0,
+            "AR coefficients must satisfy sum(|phi|) < 1 for guaranteed stability, got {s}"
+        );
+        ArmaFilter { ar, ma }
+    }
+
+    /// Pure AR(1) shortcut.
+    pub fn ar1(rho: f64) -> Self {
+        ArmaFilter::new(vec![rho], Vec::new())
+    }
+
+    /// AR order `p`.
+    pub fn p(&self) -> usize {
+        self.ar.len()
+    }
+
+    /// MA order `q`.
+    pub fn q(&self) -> usize {
+        self.ma.len()
+    }
+
+    /// Applies the filter to a driving sequence and rescales the output
+    /// to the driving sequence's sample variance (so downstream marginal
+    /// transforms see the same scale).
+    pub fn filter(&self, x: &[f64]) -> Vec<f64> {
+        let n = x.len();
+        if n == 0 {
+            return Vec::new();
+        }
+        let mut y = vec![0.0f64; n];
+        for t in 0..n {
+            let mut v = x[t];
+            for (j, &th) in self.ma.iter().enumerate() {
+                if t > j {
+                    v += th * x[t - 1 - j];
+                }
+            }
+            for (i, &ph) in self.ar.iter().enumerate() {
+                if t > i {
+                    v += ph * y[t - 1 - i];
+                }
+            }
+            y[t] = v;
+        }
+        // Normalise to the input's variance.
+        let var_in = variance(x);
+        let var_out = variance(&y);
+        if var_out > 0.0 && var_in > 0.0 {
+            let k = (var_in / var_out).sqrt();
+            for v in &mut y {
+                *v *= k;
+            }
+        }
+        y
+    }
+}
+
+fn variance(x: &[f64]) -> f64 {
+    let n = x.len() as f64;
+    let mean = x.iter().sum::<f64>() / n;
+    x.iter().map(|&v| (v - mean).powi(2)).sum::<f64>() / n
+}
+
+/// Yule–Walker estimation of AR(p) coefficients from a sample
+/// autocorrelation sequence `r(0..=p)`, via the Levinson–Durbin
+/// recursion. Returns `(phi, innovation variance ratio)`.
+pub fn yule_walker(acf: &[f64], p: usize) -> (Vec<f64>, f64) {
+    assert!(acf.len() > p, "need at least p+1 autocorrelations");
+    assert!((acf[0] - 1.0).abs() < 1e-9, "acf must be normalised (r(0)=1)");
+    let mut phi = vec![0.0f64; p];
+    let mut prev = vec![0.0f64; p];
+    let mut e = 1.0f64;
+    for k in 1..=p {
+        let mut acc = acf[k];
+        for j in 1..k {
+            acc -= prev[j - 1] * acf[k - j];
+        }
+        let refl = acc / e;
+        phi[k - 1] = refl;
+        for j in 1..k {
+            phi[j - 1] = prev[j - 1] - refl * prev[k - 1 - j];
+        }
+        e *= 1.0 - refl * refl;
+        prev[..k].copy_from_slice(&phi[..k]);
+    }
+    (phi, e)
+}
+
+/// Convenience: generate `n` points of ARMA-filtered white noise with
+/// unit variance.
+pub fn arma_noise(filter: &ArmaFilter, n: usize, seed: u64) -> Vec<f64> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let white: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+    filter.filter(&white)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::acf::autocorrelation;
+
+    #[test]
+    fn ar1_filter_has_geometric_acf() {
+        let f = ArmaFilter::ar1(0.7);
+        let y = arma_noise(&f, 100_000, 1);
+        let r = autocorrelation(&y, 5);
+        for k in 1..=5 {
+            assert!(
+                (r[k] - 0.7f64.powi(k as i32)).abs() < 0.03,
+                "lag {k}: {} vs {}",
+                r[k],
+                0.7f64.powi(k as i32)
+            );
+        }
+    }
+
+    #[test]
+    fn output_variance_matches_input() {
+        let f = ArmaFilter::new(vec![0.5, 0.2], vec![0.3]);
+        let y = arma_noise(&f, 50_000, 2);
+        let v = variance(&y);
+        assert!((v - 1.0).abs() < 0.08, "variance {v}");
+    }
+
+    #[test]
+    fn ma_only_filter_has_finite_memory() {
+        // MA(1): correlation only at lag 1 (θ/(1+θ²)), zero beyond.
+        let th = 0.8;
+        let f = ArmaFilter::new(Vec::new(), vec![th]);
+        let y = arma_noise(&f, 100_000, 3);
+        let r = autocorrelation(&y, 4);
+        let want = th / (1.0 + th * th);
+        assert!((r[1] - want).abs() < 0.02, "r(1) = {} vs {}", r[1], want);
+        for k in 2..=4 {
+            assert!(r[k].abs() < 0.02, "r({k}) = {} should vanish", r[k]);
+        }
+    }
+
+    #[test]
+    fn filtering_fgn_keeps_lrd_adds_srd() {
+        use crate::DaviesHarte;
+        use vbr_stats::acf::autocorrelation as acf;
+        let fgn = DaviesHarte::new(0.8, 1.0).generate(100_000, 4);
+        let filtered = ArmaFilter::ar1(0.85).filter(&fgn);
+        let r_raw = acf(&fgn, 200);
+        let r_f = acf(&filtered, 200);
+        // SRD boost at short lags…
+        assert!(r_f[1] > r_raw[1] + 0.2, "r(1): {} vs {}", r_f[1], r_raw[1]);
+        // …while the long-lag hyperbolic correlations survive.
+        assert!(r_f[200] > 0.05, "r(200) = {} should stay LRD-positive", r_f[200]);
+    }
+
+    #[test]
+    fn yule_walker_recovers_ar2() {
+        // Generate AR(2), estimate back.
+        let truth = ArmaFilter::new(vec![0.5, 0.3], Vec::new());
+        let y = arma_noise(&truth, 200_000, 5);
+        let r = autocorrelation(&y, 4);
+        let (phi, e) = yule_walker(&r, 2);
+        assert!((phi[0] - 0.5).abs() < 0.03, "phi1 {}", phi[0]);
+        assert!((phi[1] - 0.3).abs() < 0.03, "phi2 {}", phi[1]);
+        assert!(e > 0.0 && e < 1.0);
+    }
+
+    #[test]
+    fn yule_walker_white_noise_gives_zero_coefficients() {
+        let r = [1.0, 0.0, 0.0, 0.0];
+        let (phi, e) = yule_walker(&r, 3);
+        for &p in &phi {
+            assert!(p.abs() < 1e-12);
+        }
+        assert!((e - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(ArmaFilter::ar1(0.5).filter(&[]).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stability")]
+    fn unstable_ar_rejected() {
+        ArmaFilter::new(vec![0.9, 0.3], Vec::new());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests for the LRD generators and the marginal
+//! transform.
+
+use proptest::prelude::*;
+use vbr_fgn::{farima_acf, fgn_acvf, DaviesHarte, Hosking, MarginalTransform, TableMode};
+use vbr_stats::dist::{ContinuousDist, GammaPareto};
+
+proptest! {
+    #[test]
+    fn farima_acf_valid_correlations(d in 0.01f64..0.49, lags in 1usize..500) {
+        let rho = farima_acf(d, lags);
+        prop_assert_eq!(rho[0], 1.0);
+        let mut prev = f64::INFINITY;
+        for &r in &rho {
+            prop_assert!((0.0..=1.0).contains(&r));
+            prop_assert!(r <= prev + 1e-12, "fARIMA ACF must decay monotonically");
+            prev = r;
+        }
+    }
+
+    #[test]
+    fn fgn_acvf_positive_definite_via_aggregate_variance(h in 0.05f64..0.95, n in 2usize..100) {
+        // Var(Σ X_i) = n γ0 + 2 Σ (n−k) γk must be n^{2H} ≥ 0.
+        let g = fgn_acvf(h, n);
+        let mut var = n as f64 * g[0];
+        for k in 1..n {
+            var += 2.0 * (n - k) as f64 * g[k];
+        }
+        let want = (n as f64).powf(2.0 * h);
+        prop_assert!((var - want).abs() < 1e-6 * want.max(1.0));
+    }
+
+    #[test]
+    fn hosking_output_finite_and_deterministic(
+        h in 0.5f64..0.95,
+        n in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        let g = Hosking::new(h, 1.0);
+        let a = g.generate(n, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a, g.generate(n, seed));
+    }
+
+    #[test]
+    fn davies_harte_output_finite_and_deterministic(
+        h in 0.05f64..0.95,
+        n in 1usize..500,
+        seed in 0u64..1000,
+    ) {
+        let g = DaviesHarte::new(h, 1.0);
+        let a = g.generate(n, seed);
+        prop_assert_eq!(a.len(), n);
+        prop_assert!(a.iter().all(|v| v.is_finite()));
+        prop_assert_eq!(a, g.generate(n, seed));
+    }
+
+    #[test]
+    fn marginal_transform_monotone_and_in_support(
+        mu in 100.0f64..1e5,
+        cv in 0.05f64..0.6,
+        a in 2.0f64..12.0,
+        xs in prop::collection::vec(-5.0f64..5.0, 2..100),
+    ) {
+        let target = GammaPareto::from_params(mu, mu * cv, a);
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Exact);
+        let mut sorted = xs.clone();
+        sorted.sort_by(|p, q| p.partial_cmp(q).unwrap());
+        let mapped: Vec<f64> = sorted.iter().map(|&x| xf.map(x)).collect();
+        for w in mapped.windows(2) {
+            prop_assert!(w[1] >= w[0], "transform must be monotone");
+        }
+        for &y in &mapped {
+            prop_assert!(y > 0.0 && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn table_transform_bounded_by_table_extremes(
+        mu in 100.0f64..1e4,
+        x in -20.0f64..20.0,
+    ) {
+        let target = GammaPareto::from_params(mu, mu * 0.3, 5.0);
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(1_000));
+        let y = xf.map(x);
+        prop_assert!(y <= xf.max_output());
+        prop_assert!(y >= target.quantile(0.5 / 1_000.0));
+    }
+}

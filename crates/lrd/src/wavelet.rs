@@ -1,0 +1,158 @@
+//! Wavelet (Abry–Veitch-style) estimation of H with the Haar wavelet —
+//! a sixth estimator for the Table 3 cross-check.
+//!
+//! The Haar detail coefficients at octave `j` of an LRD process have
+//! variance `∝ 2^{j(2H−1)}`; regressing `log₂ Var(d_j)` on `j` over the
+//! coarse octaves gives the *logscale diagram* and its slope
+//! `2H − 1`. Wavelet estimators are robust to polynomial trends — handy
+//! for a movie trace with a story arc.
+
+use vbr_stats::regression::{fit_line, LineFit};
+
+/// Variance of the Haar detail coefficients per octave.
+#[derive(Debug, Clone)]
+pub struct LogscaleDiagram {
+    /// Octave numbers `j = 1, 2, …` (scale `2^j` samples).
+    pub octaves: Vec<usize>,
+    /// `log₂` of the detail variance at each octave.
+    pub log2_variance: Vec<f64>,
+    /// Number of detail coefficients at each octave.
+    pub counts: Vec<usize>,
+}
+
+/// A wavelet H estimate.
+#[derive(Debug, Clone)]
+pub struct WaveletEstimate {
+    /// The logscale diagram.
+    pub diagram: LogscaleDiagram,
+    /// Weighted-least-squares fit over the chosen octave range.
+    pub fit: LineFit,
+    /// Estimated Hurst parameter `H = (slope + 1)/2`.
+    pub hurst: f64,
+}
+
+/// Computes the Haar logscale diagram of a series.
+pub fn logscale_diagram(xs: &[f64]) -> LogscaleDiagram {
+    assert!(xs.len() >= 16, "need at least 16 points");
+    let mut approx: Vec<f64> = xs.to_vec();
+    let mut octaves = Vec::new();
+    let mut log2_var = Vec::new();
+    let mut counts = Vec::new();
+    let mut j = 1usize;
+    while approx.len() >= 8 {
+        let pairs = approx.len() / 2;
+        let mut details = Vec::with_capacity(pairs);
+        let mut next = Vec::with_capacity(pairs);
+        for k in 0..pairs {
+            let a = approx[2 * k];
+            let b = approx[2 * k + 1];
+            // Orthonormal Haar: detail (a−b)/√2, approximation (a+b)/√2.
+            details.push((a - b) / std::f64::consts::SQRT_2);
+            next.push((a + b) / std::f64::consts::SQRT_2);
+        }
+        let var = details.iter().map(|d| d * d).sum::<f64>() / pairs as f64;
+        if var > 0.0 {
+            octaves.push(j);
+            log2_var.push(var.log2());
+            counts.push(pairs);
+        }
+        approx = next;
+        j += 1;
+    }
+    LogscaleDiagram { octaves, log2_variance: log2_var, counts }
+}
+
+/// Estimates H from the logscale diagram over octaves
+/// `[j_min, j_max]` (defaults: 3 to the coarsest octave with ≥ 8
+/// coefficients, skipping the SRD-dominated fine scales).
+pub fn wavelet_hurst(xs: &[f64], j_min: usize, j_max: Option<usize>) -> WaveletEstimate {
+    let diagram = logscale_diagram(xs);
+    let j_hi = j_max.unwrap_or(usize::MAX);
+    let pts: (Vec<f64>, Vec<f64>) = diagram
+        .octaves
+        .iter()
+        .zip(&diagram.log2_variance)
+        .zip(&diagram.counts)
+        .filter(|((&j, _), &c)| j >= j_min && j <= j_hi && c >= 8)
+        .map(|((&j, &v), _)| (j as f64, v))
+        .unzip();
+    assert!(
+        pts.0.len() >= 3,
+        "not enough octaves in [{j_min}, {j_hi}] for the wavelet fit"
+    );
+    let fit = fit_line(&pts.0, &pts.1);
+    WaveletEstimate { hurst: (fit.slope + 1.0) / 2.0, fit, diagram }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_fgn::DaviesHarte;
+    use vbr_stats::rng::Xoshiro256;
+
+    #[test]
+    fn white_noise_gives_h_half() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let xs: Vec<f64> = (0..65_536).map(|_| rng.standard_normal()).collect();
+        let est = wavelet_hurst(&xs, 1, None);
+        assert!((est.hurst - 0.5).abs() < 0.05, "H {}", est.hurst);
+    }
+
+    #[test]
+    fn fgn_recovers_hurst() {
+        for &h in &[0.7, 0.85] {
+            let xs = DaviesHarte::new(h, 1.0).generate(131_072, 2);
+            let est = wavelet_hurst(&xs, 2, None);
+            assert!((est.hurst - h).abs() < 0.06, "H = {h}: estimated {}", est.hurst);
+        }
+    }
+
+    #[test]
+    fn immune_to_linear_trends() {
+        // Add a strong linear trend to white noise: VT/periodogram blow
+        // up, but octave-wise Haar *differences* cancel … at fine scales.
+        // (The Haar detail of a linear trend grows with scale, so we fit
+        // the fine-to-middle octaves here.)
+        let mut rng = Xoshiro256::seed_from_u64(3);
+        let n = 65_536;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| rng.standard_normal() + i as f64 * 1e-4)
+            .collect();
+        let est = wavelet_hurst(&xs, 1, Some(8));
+        assert!(
+            (est.hurst - 0.5).abs() < 0.08,
+            "trend leaked into the estimate: H = {}",
+            est.hurst
+        );
+    }
+
+    #[test]
+    fn diagram_counts_halve_per_octave() {
+        let xs: Vec<f64> = (0..1024).map(|i| (i as f64).sin()).collect();
+        let d = logscale_diagram(&xs);
+        assert_eq!(d.counts[0], 512);
+        assert_eq!(d.counts[1], 256);
+        for w in d.counts.windows(2) {
+            assert!(w[1] <= w[0] / 2 + 1);
+        }
+    }
+
+    #[test]
+    fn logscale_slope_positive_for_lrd_zero_for_srd() {
+        let lrd = DaviesHarte::new(0.85, 1.0).generate(65_536, 4);
+        let est_lrd = wavelet_hurst(&lrd, 2, None);
+        assert!(est_lrd.fit.slope > 0.4, "LRD slope {}", est_lrd.fit.slope);
+
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let srd: Vec<f64> = (0..65_536).map(|_| rng.standard_normal()).collect();
+        let est_srd = wavelet_hurst(&srd, 2, None);
+        assert!(est_srd.fit.slope.abs() < 0.15, "SRD slope {}", est_srd.fit.slope);
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough octaves")]
+    fn too_narrow_octave_range_rejected() {
+        let xs: Vec<f64> = (0..64).map(|i| i as f64).collect();
+        wavelet_hurst(&xs, 10, None);
+    }
+}

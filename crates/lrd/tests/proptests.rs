@@ -1,0 +1,72 @@
+//! Property-based tests for the LRD analysis crate.
+
+use proptest::prelude::*;
+use vbr_lrd::{aggregate, log_spaced_blocks, rs_statistic};
+
+proptest! {
+    #[test]
+    fn aggregation_preserves_mean(
+        xs in prop::collection::vec(-1e4f64..1e4, 10..500),
+        m in 1usize..10,
+    ) {
+        prop_assume!(xs.len() >= m);
+        let agg = aggregate(&xs, m);
+        prop_assume!(!agg.is_empty());
+        // The aggregated mean equals the mean of the covered prefix.
+        let covered = agg.len() * m;
+        let mean_prefix = xs[..covered].iter().sum::<f64>() / covered as f64;
+        let mean_agg = agg.iter().sum::<f64>() / agg.len() as f64;
+        prop_assert!((mean_prefix - mean_agg).abs() < 1e-8 * mean_prefix.abs().max(1.0));
+    }
+
+    #[test]
+    fn aggregation_never_increases_range(
+        xs in prop::collection::vec(-1e4f64..1e4, 10..500),
+        m in 1usize..10,
+    ) {
+        let agg = aggregate(&xs, m);
+        prop_assume!(!agg.is_empty());
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for &v in &agg {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn log_grid_sane(max_m in 1usize..100_000, ppd in 1usize..20) {
+        let g = log_spaced_blocks(max_m, ppd);
+        prop_assert_eq!(g[0], 1);
+        prop_assert_eq!(*g.last().unwrap(), max_m);
+        for w in g.windows(2) {
+            prop_assert!(w[0] < w[1]);
+        }
+    }
+
+    #[test]
+    fn rs_statistic_invariances(
+        xs in prop::collection::vec(-100.0f64..100.0, 4..100)
+            .prop_filter("non-constant", |v| v.iter().any(|&x| (x - v[0]).abs() > 1e-6)),
+        shift in -1000.0f64..1000.0,
+        scale in 0.01f64..100.0,
+    ) {
+        let base = rs_statistic(&xs).unwrap();
+        prop_assert!(base > 0.0 && base.is_finite());
+        let shifted: Vec<f64> = xs.iter().map(|&x| x + shift).collect();
+        prop_assert!((rs_statistic(&shifted).unwrap() - base).abs() < 1e-6 * base);
+        let scaled: Vec<f64> = xs.iter().map(|&x| x * scale).collect();
+        prop_assert!((rs_statistic(&scaled).unwrap() - base).abs() < 1e-6 * base);
+    }
+
+    #[test]
+    fn rs_statistic_bounded_by_feller(
+        xs in prop::collection::vec(-100.0f64..100.0, 4..100)
+            .prop_filter("non-constant", |v| v.iter().any(|&x| (x - v[0]).abs() > 1e-6)),
+    ) {
+        // R/S of n points is at most n/... — a loose deterministic bound:
+        // R ≤ n·max|x−mean| and S ≥ (max|x−mean|)/√n ⇒ R/S ≤ n^{3/2}.
+        let rs = rs_statistic(&xs).unwrap();
+        let n = xs.len() as f64;
+        prop_assert!(rs <= n.powf(1.5));
+    }
+}

@@ -1,0 +1,208 @@
+//! Multiplexing N copies of a trace with random wrap-around offsets
+//! (paper §5.1): offsets at least 1000 frames apart, all frames used once
+//! per source, and — because LRD makes cross-correlations significant
+//! even at long lags — six random lag combinations averaged for N > 2.
+
+use vbr_stats::rng::Xoshiro256;
+use vbr_video::Trace;
+
+/// One choice of per-source offsets (in frames).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LagCombination {
+    /// Offset per source, frames.
+    pub offsets: Vec<usize>,
+}
+
+/// Draws a set of offsets for `n_sources` over a trace of `frames`
+/// frames, pairwise at least `min_sep` frames apart (circularly).
+pub fn draw_offsets(
+    n_sources: usize,
+    frames: usize,
+    min_sep: usize,
+    rng: &mut Xoshiro256,
+) -> LagCombination {
+    assert!(n_sources >= 1);
+    assert!(
+        n_sources * min_sep < frames || n_sources == 1,
+        "cannot place {n_sources} offsets ≥ {min_sep} frames apart in a {frames}-frame trace"
+    );
+    let mut offsets = vec![0usize];
+    let mut guard = 0;
+    while offsets.len() < n_sources {
+        let cand = rng.below(frames as u64) as usize;
+        let ok = offsets.iter().all(|&o| {
+            let d = cand.abs_diff(o);
+            let circ = d.min(frames - d);
+            circ >= min_sep
+        });
+        if ok {
+            offsets.push(cand);
+        }
+        guard += 1;
+        assert!(guard < 1_000_000, "offset sampling failed to converge");
+    }
+    LagCombination { offsets }
+}
+
+/// The paper's rule: 1 combination for N ≤ 2 (offset 0 / one random
+/// offset), 6 random combinations for N > 2.
+pub fn lag_combinations(
+    n_sources: usize,
+    frames: usize,
+    min_sep: usize,
+    seed: u64,
+) -> Vec<LagCombination> {
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let count = if n_sources > 2 { 6 } else { 1 };
+    (0..count)
+        .map(|_| draw_offsets(n_sources, frames, min_sep, &mut rng))
+        .collect()
+}
+
+/// Sums `n` offset copies of the trace at slice granularity, wrapping
+/// around the end ("upon reaching the end of the trace, each source wraps
+/// around to the beginning, so all 171 000 frames are used once for
+/// each"). Output length = trace length in slices.
+pub fn aggregate_arrivals(trace: &Trace, lags: &LagCombination) -> Vec<f64> {
+    let slices = trace.slice_bytes();
+    let n = slices.len();
+    let spf = trace.slices_per_frame();
+    let mut out = vec![0.0f64; n];
+    for &off_frames in &lags.offsets {
+        let off = (off_frames * spf) % n;
+        for (t, o) in out.iter_mut().enumerate() {
+            let idx = t + off;
+            let idx = if idx >= n { idx - n } else { idx };
+            *o += slices[idx] as f64;
+        }
+    }
+    out
+}
+
+/// Sums one offset copy of *each* trace — heterogeneous multiplexing
+/// (e.g. movies mixed with videoconference sources). All traces must
+/// share the slice geometry; each wraps around independently, and the
+/// output covers the longest trace.
+pub fn aggregate_arrivals_multi(traces: &[&Trace], offsets_frames: &[usize]) -> Vec<f64> {
+    assert!(!traces.is_empty());
+    assert_eq!(traces.len(), offsets_frames.len(), "one offset per trace");
+    let spf = traces[0].slices_per_frame();
+    let dt = traces[0].slice_duration();
+    for t in traces {
+        assert_eq!(t.slices_per_frame(), spf, "mixed slice geometry");
+        assert!(
+            (t.slice_duration() - dt).abs() < 1e-12,
+            "mixed slice durations"
+        );
+    }
+    let out_len = traces.iter().map(|t| t.slice_bytes().len()).max().unwrap();
+    let mut out = vec![0.0f64; out_len];
+    for (trace, &off_frames) in traces.iter().zip(offsets_frames) {
+        let slices = trace.slice_bytes();
+        let n = slices.len();
+        let off = (off_frames * spf) % n;
+        for (t, o) in out.iter_mut().enumerate() {
+            *o += slices[(t + off) % n] as f64;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_trace() -> Trace {
+        // 6 frames × 2 slices.
+        Trace::from_slices(vec![1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12], 2, 24.0)
+    }
+
+    #[test]
+    fn single_source_identity() {
+        let t = toy_trace();
+        let agg = aggregate_arrivals(&t, &LagCombination { offsets: vec![0] });
+        let want: Vec<f64> = t.slice_bytes().iter().map(|&b| b as f64).collect();
+        assert_eq!(agg, want);
+    }
+
+    #[test]
+    fn wraparound_uses_every_slice_once() {
+        let t = toy_trace();
+        let agg = aggregate_arrivals(&t, &LagCombination { offsets: vec![0, 2, 4] });
+        // Total bytes = 3 × trace total regardless of offsets.
+        let total: f64 = agg.iter().sum();
+        let trace_total: u32 = t.slice_bytes().iter().sum();
+        assert!((total - 3.0 * trace_total as f64).abs() < 1e-9);
+    }
+
+    #[test]
+    fn offset_shifts_by_frames() {
+        let t = toy_trace();
+        let agg = aggregate_arrivals(&t, &LagCombination { offsets: vec![1] });
+        // Offset of 1 frame = 2 slices: first slot reads slice 2.
+        assert_eq!(agg[0], 3.0);
+        assert_eq!(agg[11], 2.0); // wraps to slice index 1
+    }
+
+    #[test]
+    fn offsets_respect_min_separation() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        let lags = draw_offsets(5, 10_000, 1000, &mut rng);
+        assert_eq!(lags.offsets.len(), 5);
+        for i in 0..5 {
+            for j in 0..i {
+                let d = lags.offsets[i].abs_diff(lags.offsets[j]);
+                let circ = d.min(10_000 - d);
+                assert!(circ >= 1000, "offsets {:?}", lags.offsets);
+            }
+        }
+    }
+
+    #[test]
+    fn combination_count_follows_paper_rule() {
+        assert_eq!(lag_combinations(1, 10_000, 1000, 7).len(), 1);
+        assert_eq!(lag_combinations(2, 10_000, 1000, 7).len(), 1);
+        assert_eq!(lag_combinations(3, 10_000, 1000, 7).len(), 6);
+        assert_eq!(lag_combinations(20, 171_000, 1000, 7).len(), 6);
+    }
+
+    #[test]
+    fn combinations_are_deterministic_per_seed() {
+        let a = lag_combinations(5, 50_000, 1000, 3);
+        let b = lag_combinations(5, 50_000, 1000, 3);
+        let c = lag_combinations(5, 50_000, 1000, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn multi_trace_aggregation_mixes_sources() {
+        let a = Trace::from_slices(vec![10, 10, 10, 10], 2, 24.0); // 2 frames
+        let b = Trace::from_slices(vec![1, 2, 3, 4, 5, 6, 7, 8], 2, 24.0); // 4 frames
+        let agg = aggregate_arrivals_multi(&[&a, &b], &[0, 1]);
+        // Output spans the longer trace (8 slices); `a` wraps twice,
+        // `b` is offset by one frame (2 slices).
+        assert_eq!(agg.len(), 8);
+        assert_eq!(agg[0], 10.0 + 3.0);
+        assert_eq!(agg[5], 10.0 + 8.0);
+        assert_eq!(agg[6], 10.0 + 1.0); // b wrapped
+        // Totals: 2 copies of a's 40 bytes + one pass of b's 36.
+        let total: f64 = agg.iter().sum();
+        assert_eq!(total, 80.0 + 36.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mixed slice geometry")]
+    fn multi_trace_rejects_mixed_geometry() {
+        let a = Trace::from_slices(vec![1, 2], 2, 24.0);
+        let b = Trace::from_slices(vec![1, 2, 3], 3, 24.0);
+        aggregate_arrivals_multi(&[&a, &b], &[0, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot place")]
+    fn impossible_separation_rejected() {
+        let mut rng = Xoshiro256::seed_from_u64(1);
+        draw_offsets(20, 1000, 1000, &mut rng);
+    }
+}

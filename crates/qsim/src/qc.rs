@@ -1,0 +1,331 @@
+//! Q-C analysis (Figs 14–16): run the multiplexer at a given capacity and
+//! buffer, and search for the capacity that achieves a target loss rate at
+//! a fixed maximum buffer delay `T_max = Q/C_total`.
+
+use crate::metrics::SimResult;
+use crate::mux::{aggregate_arrivals, lag_combinations, LagCombination};
+use crate::queue::FluidQueue;
+use vbr_video::Trace;
+
+/// Which loss statistic a capacity search targets.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossMetric {
+    /// Overall loss rate `P_l`.
+    Overall,
+    /// Worst-errored-second loss `P_l-WES`.
+    WorstSecond,
+}
+
+/// Loss objective: exactly zero observed loss, or a positive rate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LossTarget {
+    /// No bytes lost over the whole run.
+    Zero,
+    /// Loss rate at most this value (the search converges onto it).
+    Rate(f64),
+}
+
+/// A prepared multiplexing experiment: N offset copies of a trace with
+/// the aggregate arrival series precomputed per lag combination.
+///
+/// ```
+/// use vbr_qsim::MuxSim;
+/// use vbr_video::{generate_screenplay, ScreenplayConfig};
+///
+/// let trace = generate_screenplay(&ScreenplayConfig::short(1_000, 3));
+/// let sim = MuxSim::new(&trace, 3, 42);
+/// // Well below the mean rate everything is lost eventually…
+/// assert!(sim.run(sim.mean_rate() * 0.5, 1_000.0).p_l > 0.1);
+/// // …and at the peak slot rate nothing is.
+/// assert_eq!(sim.run(sim.peak_slot_rate(), 0.0).p_l, 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MuxSim {
+    n_sources: usize,
+    dt: f64,
+    mean_rate: f64,
+    peak_slot_rate: f64,
+    aggregates: Vec<Vec<f64>>,
+    combos: Vec<LagCombination>,
+}
+
+impl MuxSim {
+    /// Prepares the experiment. Applies the paper's rules: offsets ≥ 1000
+    /// frames apart, 6 random lag combinations for N > 2.
+    pub fn new(trace: &Trace, n_sources: usize, seed: u64) -> Self {
+        assert!(n_sources >= 1);
+        let min_sep = if n_sources == 1 { 0 } else { 1000.min(trace.frames() / (2 * n_sources)) };
+        let combos = lag_combinations(n_sources, trace.frames(), min_sep, seed);
+        let aggregates: Vec<Vec<f64>> =
+            combos.iter().map(|c| aggregate_arrivals(trace, c)).collect();
+        let dt = trace.slice_duration();
+        let total_bytes: f64 = aggregates[0].iter().sum();
+        let mean_rate = total_bytes / (aggregates[0].len() as f64 * dt);
+        let peak_slot_rate = aggregates
+            .iter()
+            .flat_map(|a| a.iter())
+            .cloned()
+            .fold(0.0f64, f64::max)
+            / dt;
+        MuxSim { n_sources, dt, mean_rate, peak_slot_rate, aggregates, combos }
+    }
+
+    /// Number of multiplexed sources.
+    pub fn n_sources(&self) -> usize {
+        self.n_sources
+    }
+
+    /// Slot duration in seconds.
+    pub fn dt(&self) -> f64 {
+        self.dt
+    }
+
+    /// Aggregate long-run mean rate in bytes/second.
+    pub fn mean_rate(&self) -> f64 {
+        self.mean_rate
+    }
+
+    /// Highest slot-level aggregate rate in bytes/second (a capacity at
+    /// which the queue never backs up).
+    pub fn peak_slot_rate(&self) -> f64 {
+        self.peak_slot_rate
+    }
+
+    /// The lag combinations in use.
+    pub fn combos(&self) -> &[LagCombination] {
+        &self.combos
+    }
+
+    /// Runs one combination, returning full per-slot records including
+    /// the backlog (so delay statistics are available).
+    pub fn run_single(&self, combo: usize, capacity_bps: f64, buffer_bytes: f64) -> SimResult {
+        let agg = &self.aggregates[combo];
+        let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
+        let mut loss = Vec::with_capacity(agg.len());
+        let mut backlog = Vec::with_capacity(agg.len());
+        for &a in agg {
+            loss.push(q.step(a, self.dt));
+            backlog.push(q.backlog());
+        }
+        SimResult::new(loss, agg.clone(), self.dt).with_backlog(backlog)
+    }
+
+    /// Runs all combinations and averages the loss metrics (the paper
+    /// averages the resulting loss rates over the 6 lag combinations).
+    ///
+    /// Metrics are accumulated streaming — no per-slot allocation — since
+    /// the Q-C searches call this thousands of times over multi-million-
+    /// slot series.
+    pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
+        let slots_per_sec = (1.0 / self.dt).round() as usize;
+        let mut p_l = 0.0;
+        let mut p_wes = 0.0;
+        for agg in &self.aggregates {
+            let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
+            let mut worst = 0.0f64;
+            let mut win_loss = 0.0;
+            let mut win_arr = 0.0;
+            for (i, &a) in agg.iter().enumerate() {
+                win_loss += q.step(a, self.dt);
+                win_arr += a;
+                if (i + 1) % slots_per_sec == 0 || i + 1 == agg.len() {
+                    if win_arr > 0.0 {
+                        worst = worst.max(win_loss / win_arr);
+                    }
+                    win_loss = 0.0;
+                    win_arr = 0.0;
+                }
+            }
+            p_l += q.lost() / q.arrived();
+            p_wes += worst;
+        }
+        let k = self.aggregates.len() as f64;
+        AveragedLoss { p_l: p_l / k, p_wes: p_wes / k }
+    }
+
+    /// Smallest total capacity (bytes/s) achieving `target` under `metric`
+    /// with the buffer tied to the capacity through
+    /// `Q = t_max × C_total` — one point of a Q-C curve.
+    pub fn required_capacity(
+        &self,
+        t_max_secs: f64,
+        target: LossTarget,
+        metric: LossMetric,
+        iterations: usize,
+    ) -> f64 {
+        assert!(t_max_secs >= 0.0);
+        let mut lo = self.mean_rate; // below the mean, loss is unavoidable
+        let mut hi = self.peak_slot_rate.max(lo * 1.001); // provably lossless
+        let meets = |c: f64| -> bool {
+            let loss = self.run(c, t_max_secs * c);
+            let v = match metric {
+                LossMetric::Overall => loss.p_l,
+                LossMetric::WorstSecond => loss.p_wes,
+            };
+            match target {
+                LossTarget::Zero => v == 0.0,
+                LossTarget::Rate(r) => v <= r,
+            }
+        };
+        for _ in 0..iterations {
+            let mid = 0.5 * (lo + hi);
+            if meets(mid) {
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+        }
+        hi
+    }
+}
+
+/// Loss metrics averaged over lag combinations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AveragedLoss {
+    /// Overall loss rate.
+    pub p_l: f64,
+    /// Worst-errored-second loss rate.
+    pub p_wes: f64,
+}
+
+/// One point of a Q-C curve (Fig 14's axes).
+#[derive(Debug, Clone, Copy)]
+pub struct QcPoint {
+    /// Maximum buffer delay `T_max = Q/C_total`, seconds.
+    pub t_max_secs: f64,
+    /// Required capacity per source, bytes/second.
+    pub capacity_per_source: f64,
+}
+
+/// Sweeps `T_max` values and finds the required capacity per source for
+/// each (one curve of Fig 14).
+pub fn qc_curve(
+    sim: &MuxSim,
+    t_max_grid: &[f64],
+    target: LossTarget,
+    metric: LossMetric,
+    iterations: usize,
+) -> Vec<QcPoint> {
+    t_max_grid
+        .iter()
+        .map(|&t| QcPoint {
+            t_max_secs: t,
+            capacity_per_source: sim.required_capacity(t, target, metric, iterations)
+                / sim.n_sources() as f64,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_video::{generate_screenplay, ScreenplayConfig, Trace};
+
+    fn test_trace() -> Trace {
+        generate_screenplay(&ScreenplayConfig::short(3_000, 11))
+    }
+
+    #[test]
+    fn mean_and_peak_rates_scale_with_n() {
+        let t = test_trace();
+        let s1 = MuxSim::new(&t, 1, 1);
+        let s5 = MuxSim::new(&t, 5, 1);
+        assert!((s5.mean_rate() / s1.mean_rate() - 5.0).abs() < 1e-9);
+        // Peak of a sum is below the sum of peaks.
+        assert!(s5.peak_slot_rate() < 5.0 * s1.peak_slot_rate());
+        assert!(s5.peak_slot_rate() > s1.peak_slot_rate());
+    }
+
+    #[test]
+    fn zero_loss_at_peak_rate() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 2, 2);
+        let loss = sim.run(sim.peak_slot_rate(), 0.0);
+        assert_eq!(loss.p_l, 0.0);
+        assert_eq!(loss.p_wes, 0.0);
+    }
+
+    #[test]
+    fn heavy_loss_just_above_mean_rate_with_small_buffer() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 3);
+        let loss = sim.run(sim.mean_rate() * 1.01, 100.0);
+        assert!(loss.p_l > 1e-3, "p_l {}", loss.p_l);
+        assert!(loss.p_wes >= loss.p_l);
+    }
+
+    #[test]
+    fn loss_decreases_with_capacity() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 2, 4);
+        let c = sim.mean_rate();
+        let l1 = sim.run(c * 1.05, 1000.0).p_l;
+        let l2 = sim.run(c * 1.3, 1000.0).p_l;
+        let l3 = sim.run(c * 1.8, 1000.0).p_l;
+        assert!(l1 >= l2 && l2 >= l3, "{l1} {l2} {l3}");
+    }
+
+    #[test]
+    fn required_capacity_meets_target() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 5);
+        let t_max = 0.002;
+        let c = sim.required_capacity(t_max, LossTarget::Rate(1e-3), LossMetric::Overall, 25);
+        let achieved = sim.run(c, t_max * c).p_l;
+        assert!(achieved <= 1e-3, "achieved {achieved}");
+        // And it is tight: 2 % less capacity should violate the target.
+        let under = sim.run(c * 0.98, t_max * c * 0.98).p_l;
+        assert!(under > 1e-3 * 0.5, "search not tight: under-capacity loss {under}");
+    }
+
+    #[test]
+    fn zero_target_needs_more_capacity_than_lossy_targets() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 6);
+        let t_max = 0.002;
+        let c0 = sim.required_capacity(t_max, LossTarget::Zero, LossMetric::Overall, 25);
+        let c3 = sim.required_capacity(t_max, LossTarget::Rate(1e-3), LossMetric::Overall, 25);
+        let c1 = sim.required_capacity(t_max, LossTarget::Rate(1e-1), LossMetric::Overall, 25);
+        assert!(c0 >= c3 && c3 >= c1, "{c0} {c3} {c1}");
+        assert!(c0 > sim.mean_rate());
+        assert!(c0 <= sim.peak_slot_rate() * 1.001);
+    }
+
+    #[test]
+    fn bigger_buffer_reduces_required_capacity() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 7);
+        let c_small = sim.required_capacity(0.0005, LossTarget::Rate(1e-3), LossMetric::Overall, 25);
+        let c_big = sim.required_capacity(0.1, LossTarget::Rate(1e-3), LossMetric::Overall, 25);
+        assert!(c_big < c_small, "big buffer {c_big} vs small {c_small}");
+    }
+
+    #[test]
+    fn qc_curve_is_decreasing_in_t_max() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 8);
+        let curve = qc_curve(
+            &sim,
+            &[0.0005, 0.002, 0.01, 0.05],
+            LossTarget::Rate(1e-3),
+            LossMetric::Overall,
+            22,
+        );
+        for w in curve.windows(2) {
+            assert!(
+                w[1].capacity_per_source <= w[0].capacity_per_source * 1.01,
+                "curve not decreasing: {curve:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn run_single_matches_run_for_one_combo() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 9);
+        let c = sim.mean_rate() * 1.1;
+        let avg = sim.run(c, 5_000.0);
+        let single = sim.run_single(0, c, 5_000.0);
+        assert!((avg.p_l - single.loss_rate).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,204 @@
+//! The fluid FIFO queue of Fig 13: finite buffer `Q`, fixed channel
+//! capacity `C`, losses when the buffer overflows.
+//!
+//! Arrivals within a slot are spread uniformly (the paper's "uniform
+//! spacing of cells within the slice"; it notes that *in no case do all
+//! the cells of a frame arrive together"), which is exactly the fluid
+//! approximation: per slot of length `dt`, `arrival` bytes flow in while
+//! `C·dt` bytes flow out.
+
+/// A finite-buffer fluid FIFO queue.
+#[derive(Debug, Clone)]
+pub struct FluidQueue {
+    /// Buffer size in bytes.
+    buffer_bytes: f64,
+    /// Service capacity in bytes per second.
+    capacity_bps: f64,
+    /// Current queue content in bytes.
+    backlog: f64,
+    /// Totals for loss accounting.
+    arrived: f64,
+    lost: f64,
+    served: f64,
+}
+
+impl FluidQueue {
+    /// Creates an empty queue. `buffer_bytes ≥ 0`, `capacity_bps > 0`.
+    pub fn new(buffer_bytes: f64, capacity_bps: f64) -> Self {
+        assert!(buffer_bytes >= 0.0, "buffer must be non-negative");
+        assert!(capacity_bps > 0.0, "capacity must be positive");
+        FluidQueue {
+            buffer_bytes,
+            capacity_bps,
+            backlog: 0.0,
+            arrived: 0.0,
+            lost: 0.0,
+            served: 0.0,
+        }
+    }
+
+    /// Advances one slot of `dt` seconds with `arrival` bytes offered.
+    /// Returns the bytes lost in this slot.
+    pub fn step(&mut self, arrival: f64, dt: f64) -> f64 {
+        debug_assert!(arrival >= 0.0 && dt > 0.0);
+        self.arrived += arrival;
+        let service = self.capacity_bps * dt;
+
+        // Fluid balance: content rises by (arrival − service), floored at
+        // empty; overflow beyond the buffer is lost.
+        let unserved = (self.backlog + arrival - service).max(0.0);
+        let actually_served = self.backlog + arrival - unserved;
+        self.served += actually_served;
+
+        let loss = (unserved - self.buffer_bytes).max(0.0);
+        self.backlog = unserved - loss;
+        self.lost += loss;
+        loss
+    }
+
+    /// Current backlog in bytes.
+    pub fn backlog(&self) -> f64 {
+        self.backlog
+    }
+
+    /// Total bytes offered so far.
+    pub fn arrived(&self) -> f64 {
+        self.arrived
+    }
+
+    /// Total bytes lost so far.
+    pub fn lost(&self) -> f64 {
+        self.lost
+    }
+
+    /// Total bytes served so far.
+    pub fn served(&self) -> f64 {
+        self.served
+    }
+
+    /// Overall loss fraction `lost/arrived` (0 when nothing arrived).
+    pub fn loss_rate(&self) -> f64 {
+        if self.arrived > 0.0 {
+            self.lost / self.arrived
+        } else {
+            0.0
+        }
+    }
+
+    /// Maximum queueing delay `Q/C` in seconds.
+    pub fn max_delay(&self) -> f64 {
+        self.buffer_bytes / self.capacity_bps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn underload_is_lossless() {
+        let mut q = FluidQueue::new(100.0, 1000.0);
+        for _ in 0..1000 {
+            let loss = q.step(0.5, 0.001); // 500 B/s offered vs 1000 B/s
+            assert_eq!(loss, 0.0);
+        }
+        assert_eq!(q.loss_rate(), 0.0);
+        assert!(q.backlog() < 1e-9);
+    }
+
+    #[test]
+    fn sustained_overload_loses_excess() {
+        // Offer 2000 B/s into a 1000 B/s server with a tiny buffer:
+        // asymptotic loss rate → 0.5.
+        let mut q = FluidQueue::new(1.0, 1000.0);
+        for _ in 0..10_000 {
+            q.step(2.0, 0.001);
+        }
+        assert!((q.loss_rate() - 0.5).abs() < 0.01, "loss {}", q.loss_rate());
+    }
+
+    #[test]
+    fn conservation_arrived_equals_served_lost_backlog() {
+        let mut q = FluidQueue::new(50.0, 800.0);
+        let arrivals = [10.0, 0.0, 45.0, 90.0, 3.0, 120.0, 0.0, 0.0, 60.0];
+        for &a in &arrivals {
+            q.step(a, 0.01);
+        }
+        let balance = q.served() + q.lost() + q.backlog();
+        assert!(
+            (q.arrived() - balance).abs() < 1e-9,
+            "arrived {} vs served+lost+backlog {balance}",
+            q.arrived()
+        );
+    }
+
+    #[test]
+    fn burst_fills_buffer_then_overflows() {
+        let mut q = FluidQueue::new(100.0, 1000.0);
+        // One slot: 201 bytes arrive, 1 byte served, buffer holds 100 → 100 lost.
+        let loss = q.step(201.0, 0.001);
+        assert!((loss - 100.0).abs() < 1e-9);
+        assert!((q.backlog() - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn backlog_drains_at_capacity() {
+        let mut q = FluidQueue::new(1000.0, 100.0);
+        q.step(500.0, 0.1); // 10 bytes served, 490 left
+        assert!((q.backlog() - 490.0).abs() < 1e-9);
+        for _ in 0..48 {
+            q.step(0.0, 0.1);
+        }
+        assert!((q.backlog() - 10.0).abs() < 1e-9);
+        q.step(0.0, 0.1);
+        assert_eq!(q.backlog(), 0.0);
+    }
+
+    #[test]
+    fn zero_buffer_is_bufferless_multiplexer() {
+        let mut q = FluidQueue::new(0.0, 1000.0);
+        let loss = q.step(3.0, 0.001); // 3 B offered, 1 B served, no buffer
+        assert!((loss - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_delay_definition() {
+        let q = FluidQueue::new(200.0, 100_000.0);
+        assert!((q.max_delay() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loss_monotone_in_capacity() {
+        let arrivals: Vec<f64> = (0..5000)
+            .map(|i| if i % 7 == 0 { 300.0 } else { 20.0 })
+            .collect();
+        let run = |cap: f64| {
+            let mut q = FluidQueue::new(100.0, cap);
+            for &a in &arrivals {
+                q.step(a, 0.001);
+            }
+            q.loss_rate()
+        };
+        let l1 = run(30_000.0);
+        let l2 = run(50_000.0);
+        let l3 = run(80_000.0);
+        assert!(l1 >= l2 && l2 >= l3, "{l1} {l2} {l3}");
+        assert!(l1 > 0.0);
+    }
+
+    #[test]
+    fn loss_monotone_in_buffer() {
+        let arrivals: Vec<f64> = (0..5000)
+            .map(|i| if i % 11 == 0 { 500.0 } else { 10.0 })
+            .collect();
+        let run = |buf: f64| {
+            let mut q = FluidQueue::new(buf, 40_000.0);
+            for &a in &arrivals {
+                q.step(a, 0.001);
+            }
+            q.loss_rate()
+        };
+        assert!(run(10.0) >= run(100.0));
+        assert!(run(100.0) >= run(1000.0));
+    }
+}

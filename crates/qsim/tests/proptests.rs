@@ -1,0 +1,92 @@
+//! Property-based tests for the queueing substrate: conservation laws and
+//! monotonicity of the fluid queue, and multiplexer invariants.
+
+use proptest::prelude::*;
+use vbr_qsim::{aggregate_arrivals, FluidQueue, LagCombination};
+use vbr_video::Trace;
+
+proptest! {
+    #[test]
+    fn queue_conservation(
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 1..500),
+        buffer in 0.0f64..50_000.0,
+        capacity in 1.0f64..1e7,
+    ) {
+        let mut q = FluidQueue::new(buffer, capacity);
+        for &a in &arrivals {
+            q.step(a, 0.001389);
+        }
+        let balance = q.served() + q.lost() + q.backlog();
+        prop_assert!((q.arrived() - balance).abs() < 1e-6 * q.arrived().max(1.0));
+        prop_assert!(q.backlog() <= buffer + 1e-9);
+        prop_assert!((0.0..=1.0).contains(&q.loss_rate()));
+    }
+
+    #[test]
+    fn queue_loss_monotone_in_capacity(
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 10..300),
+        buffer in 0.0f64..10_000.0,
+        c1 in 1e3f64..1e6,
+        factor in 1.01f64..10.0,
+    ) {
+        let run = |cap: f64| {
+            let mut q = FluidQueue::new(buffer, cap);
+            for &a in &arrivals {
+                q.step(a, 0.001389);
+            }
+            q.loss_rate()
+        };
+        prop_assert!(run(c1) + 1e-12 >= run(c1 * factor));
+    }
+
+    #[test]
+    fn queue_loss_monotone_in_buffer(
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 10..300),
+        capacity in 1e3f64..1e6,
+        b1 in 0.0f64..5_000.0,
+        extra in 1.0f64..50_000.0,
+    ) {
+        let run = |buf: f64| {
+            let mut q = FluidQueue::new(buf, capacity);
+            for &a in &arrivals {
+                q.step(a, 0.001389);
+            }
+            q.loss_rate()
+        };
+        prop_assert!(run(b1) + 1e-12 >= run(b1 + extra));
+    }
+
+    #[test]
+    fn aggregate_conserves_total_bytes(
+        slices in prop::collection::vec(0u32..10_000, 4..100),
+        offsets in prop::collection::vec(0usize..1000, 1..6),
+    ) {
+        prop_assume!(slices.len() % 2 == 0);
+        let trace = Trace::from_slices(slices.clone(), 2, 24.0);
+        let offsets: Vec<usize> =
+            offsets.into_iter().map(|o| o % trace.frames()).collect();
+        let n_src = offsets.len();
+        let agg = aggregate_arrivals(&trace, &LagCombination { offsets });
+        let total: f64 = agg.iter().sum();
+        let per_src: u64 = slices.iter().map(|&b| b as u64).sum();
+        prop_assert!(
+            (total - (per_src * n_src as u64) as f64).abs() < 1e-6,
+            "aggregate total {total} vs {}", per_src * n_src as u64
+        );
+        prop_assert_eq!(agg.len(), slices.len());
+    }
+
+    #[test]
+    fn zero_arrivals_produce_zero_loss(
+        buffer in 0.0f64..1e5,
+        capacity in 1.0f64..1e7,
+        n in 1usize..200,
+    ) {
+        let mut q = FluidQueue::new(buffer, capacity);
+        for _ in 0..n {
+            prop_assert_eq!(q.step(0.0, 0.001), 0.0);
+        }
+        prop_assert_eq!(q.loss_rate(), 0.0);
+        prop_assert_eq!(q.backlog(), 0.0);
+    }
+}

@@ -1,0 +1,355 @@
+//! Descriptive statistics: streaming moments (Welford), quantiles and the
+//! trace summary used for Table 2 of the paper.
+
+/// Streaming accumulator for count/mean/variance/skewness/kurtosis/
+/// min/max (Welford/West higher-moment updates; numerically stable for
+/// long series).
+#[derive(Debug, Clone, Default)]
+pub struct Moments {
+    n: u64,
+    mean: f64,
+    m2: f64,
+    m3: f64,
+    m4: f64,
+    min: f64,
+    max: f64,
+}
+
+impl Moments {
+    /// Creates an empty accumulator.
+    pub fn new() -> Self {
+        Moments {
+            n: 0,
+            mean: 0.0,
+            m2: 0.0,
+            m3: 0.0,
+            m4: 0.0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// Adds one observation.
+    #[inline]
+    pub fn push(&mut self, x: f64) {
+        let n0 = self.n as f64;
+        self.n += 1;
+        let n = self.n as f64;
+        let delta = x - self.mean;
+        let delta_n = delta / n;
+        let term = delta * delta_n * n0;
+        self.mean += delta_n;
+        self.m4 += term * delta_n * delta_n * (n * n - 3.0 * n + 3.0)
+            + 6.0 * delta_n * delta_n * self.m2
+            - 4.0 * delta_n * self.m3;
+        self.m3 += term * delta_n * (n - 2.0) - 3.0 * delta_n * self.m2;
+        self.m2 += term;
+        if x < self.min {
+            self.min = x;
+        }
+        if x > self.max {
+            self.max = x;
+        }
+    }
+
+    /// Builds an accumulator over a slice.
+    pub fn from_slice(xs: &[f64]) -> Self {
+        let mut m = Moments::new();
+        for &x in xs {
+            m.push(x);
+        }
+        m
+    }
+
+    /// Number of observations.
+    pub fn count(&self) -> u64 {
+        self.n
+    }
+
+    /// Sample mean (0 for an empty accumulator).
+    pub fn mean(&self) -> f64 {
+        self.mean
+    }
+
+    /// Population variance (divisor `n`).
+    pub fn variance(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.m2 / self.n as f64
+        }
+    }
+
+    /// Sample variance (divisor `n − 1`).
+    pub fn sample_variance(&self) -> f64 {
+        if self.n < 2 {
+            0.0
+        } else {
+            self.m2 / (self.n - 1) as f64
+        }
+    }
+
+    /// Population standard deviation.
+    pub fn std_dev(&self) -> f64 {
+        self.variance().sqrt()
+    }
+
+    /// Minimum observation (`+∞` if empty).
+    pub fn min(&self) -> f64 {
+        self.min
+    }
+
+    /// Maximum observation (`−∞` if empty).
+    pub fn max(&self) -> f64 {
+        self.max
+    }
+
+    /// Coefficient of variation `σ/μ`.
+    pub fn coef_variation(&self) -> f64 {
+        self.std_dev() / self.mean
+    }
+
+    /// Peak-to-mean ratio — the paper's "burstiness" descriptor, which
+    /// bounds the statistical multiplexing gain.
+    pub fn peak_to_mean(&self) -> f64 {
+        self.max / self.mean
+    }
+
+    /// Sample skewness `m₃/m₂^{3/2}` (0 for symmetric data; the
+    /// Gamma/Pareto marginal is strongly right-skewed).
+    pub fn skewness(&self) -> f64 {
+        if self.n < 2 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        (n.sqrt() * self.m3) / self.m2.powf(1.5)
+    }
+
+    /// Excess kurtosis `m₄/m₂² − 3` (0 for Gaussian data; positive for
+    /// heavy tails).
+    pub fn excess_kurtosis(&self) -> f64 {
+        if self.n < 2 || self.m2 == 0.0 {
+            return 0.0;
+        }
+        let n = self.n as f64;
+        n * self.m4 / (self.m2 * self.m2) - 3.0
+    }
+
+    /// Merges another accumulator (parallel Welford/Chan combination of
+    /// the first four moments).
+    pub fn merge(&mut self, other: &Moments) {
+        if other.n == 0 {
+            return;
+        }
+        if self.n == 0 {
+            *self = other.clone();
+            return;
+        }
+        let n1 = self.n as f64;
+        let n2 = other.n as f64;
+        let d = other.mean - self.mean;
+        let n = n1 + n2;
+        let d2 = d * d;
+        let d3 = d2 * d;
+        let d4 = d3 * d;
+
+        let m4 = self.m4
+            + other.m4
+            + d4 * n1 * n2 * (n1 * n1 - n1 * n2 + n2 * n2) / (n * n * n)
+            + 6.0 * d2 * (n1 * n1 * other.m2 + n2 * n2 * self.m2) / (n * n)
+            + 4.0 * d * (n1 * other.m3 - n2 * self.m3) / n;
+        let m3 = self.m3
+            + other.m3
+            + d3 * n1 * n2 * (n1 - n2) / (n * n)
+            + 3.0 * d * (n1 * other.m2 - n2 * self.m2) / n;
+        let m2 = self.m2 + other.m2 + d2 * n1 * n2 / n;
+
+        self.mean += d * n2 / n;
+        self.m2 = m2;
+        self.m3 = m3;
+        self.m4 = m4;
+        self.n += other.n;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+}
+
+/// Empirical quantile with linear interpolation (type-7, the R default).
+///
+/// `p` in `[0, 1]`. The input need not be sorted; an internal sorted copy
+/// is made — use [`quantile_sorted`] in loops.
+pub fn quantile(xs: &[f64], p: f64) -> f64 {
+    let mut sorted = xs.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("NaN in quantile input"));
+    quantile_sorted(&sorted, p)
+}
+
+/// Quantile of an already-sorted slice (ascending).
+pub fn quantile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "quantile of empty slice");
+    assert!((0.0..=1.0).contains(&p), "quantile p must be in [0,1], got {p}");
+    let n = sorted.len();
+    if n == 1 {
+        return sorted[0];
+    }
+    let h = p * (n - 1) as f64;
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    if lo == hi {
+        sorted[lo]
+    } else {
+        sorted[lo] + (h - lo as f64) * (sorted[hi] - sorted[lo])
+    }
+}
+
+/// One row of the paper's Table 2 (statistics at one time resolution).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    /// Time unit ΔT in milliseconds.
+    pub delta_t_ms: f64,
+    /// Mean bandwidth, bytes per ΔT.
+    pub mean: f64,
+    /// Standard deviation, bytes per ΔT.
+    pub std_dev: f64,
+    /// Coefficient of variation σ/μ.
+    pub coef_variation: f64,
+    /// Maximum bandwidth, bytes per ΔT.
+    pub max: f64,
+    /// Minimum bandwidth, bytes per ΔT.
+    pub min: f64,
+    /// Peak/mean bandwidth ratio.
+    pub peak_to_mean: f64,
+}
+
+impl TraceSummary {
+    /// Summarises a series measured at the given time unit.
+    pub fn from_series(xs: &[f64], delta_t_ms: f64) -> Self {
+        let m = Moments::from_slice(xs);
+        TraceSummary {
+            delta_t_ms,
+            mean: m.mean(),
+            std_dev: m.std_dev(),
+            coef_variation: m.coef_variation(),
+            max: m.max(),
+            min: m.min(),
+            peak_to_mean: m.peak_to_mean(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn moments_of_known_series() {
+        let m = Moments::from_slice(&[2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]);
+        assert_eq!(m.count(), 8);
+        assert!((m.mean() - 5.0).abs() < 1e-12);
+        assert!((m.variance() - 4.0).abs() < 1e-12);
+        assert!((m.std_dev() - 2.0).abs() < 1e-12);
+        assert_eq!(m.min(), 2.0);
+        assert_eq!(m.max(), 9.0);
+        assert!((m.peak_to_mean() - 1.8).abs() < 1e-12);
+        assert!((m.coef_variation() - 0.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_variance_uses_n_minus_1() {
+        let m = Moments::from_slice(&[1.0, 2.0, 3.0]);
+        assert!((m.sample_variance() - 1.0).abs() < 1e-12);
+        assert!((m.variance() - 2.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn merge_matches_single_pass() {
+        let xs: Vec<f64> = (0..1000).map(|i| ((i * 7919) % 523) as f64).collect();
+        let whole = Moments::from_slice(&xs);
+        let mut a = Moments::from_slice(&xs[..317]);
+        let b = Moments::from_slice(&xs[317..]);
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert!((a.mean() - whole.mean()).abs() < 1e-9);
+        assert!((a.variance() - whole.variance()).abs() < 1e-9);
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+    }
+
+    #[test]
+    fn merge_with_empty_is_identity() {
+        let mut a = Moments::from_slice(&[1.0, 2.0]);
+        let before = a.clone();
+        a.merge(&Moments::new());
+        assert!((a.mean() - before.mean()).abs() < 1e-15);
+
+        let mut e = Moments::new();
+        e.merge(&before);
+        assert!((e.mean() - before.mean()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let xs = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&xs, 0.0), 1.0);
+        assert_eq!(quantile(&xs, 1.0), 4.0);
+        assert!((quantile(&xs, 0.5) - 2.5).abs() < 1e-12);
+        assert!((quantile(&xs, 0.25) - 1.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_single_element() {
+        assert_eq!(quantile(&[42.0], 0.73), 42.0);
+    }
+
+    #[test]
+    fn trace_summary_fields() {
+        let s = TraceSummary::from_series(&[10.0, 20.0, 30.0], 41.67);
+        assert!((s.mean - 20.0).abs() < 1e-12);
+        assert_eq!(s.max, 30.0);
+        assert_eq!(s.min, 10.0);
+        assert!((s.peak_to_mean - 1.5).abs() < 1e-12);
+        assert_eq!(s.delta_t_ms, 41.67);
+    }
+
+    #[test]
+    fn skewness_and_kurtosis_of_known_shapes() {
+        // Symmetric data: both ≈ 0 excess.
+        let sym = Moments::from_slice(&[-2.0, -1.0, 0.0, 1.0, 2.0]);
+        assert!(sym.skewness().abs() < 1e-12);
+        // Uniform-5-point kurtosis: m4/m2² = (2·16+2·1)/n / (2²) = 34/5/4 = 1.7 → −1.3 excess.
+        assert!((sym.excess_kurtosis() + 1.3).abs() < 1e-12);
+
+        // Right-skewed data has positive skewness.
+        let skewed = Moments::from_slice(&[1.0, 1.0, 1.0, 1.0, 10.0]);
+        assert!(skewed.skewness() > 1.0, "skewness {}", skewed.skewness());
+    }
+
+    #[test]
+    fn gaussian_sample_has_zero_skew_and_excess_kurtosis() {
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(9);
+        let mut m = Moments::new();
+        for _ in 0..200_000 {
+            m.push(rng.standard_normal());
+        }
+        assert!(m.skewness().abs() < 0.03, "skewness {}", m.skewness());
+        assert!(m.excess_kurtosis().abs() < 0.06, "kurtosis {}", m.excess_kurtosis());
+    }
+
+    #[test]
+    fn merge_combines_higher_moments() {
+        let xs: Vec<f64> = (0..500).map(|i| ((i * 37) % 101) as f64).collect();
+        let whole = Moments::from_slice(&xs);
+        let mut a = Moments::from_slice(&xs[..123]);
+        a.merge(&Moments::from_slice(&xs[123..]));
+        assert!((a.skewness() - whole.skewness()).abs() < 1e-9);
+        assert!((a.excess_kurtosis() - whole.excess_kurtosis()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn welford_is_stable_for_large_offsets() {
+        // Classic catastrophic-cancellation case: large mean, small variance.
+        let xs: Vec<f64> = (0..10_000).map(|i| 1e9 + (i % 2) as f64).collect();
+        let m = Moments::from_slice(&xs);
+        assert!((m.variance() - 0.25).abs() < 1e-6);
+    }
+}

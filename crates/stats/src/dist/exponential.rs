@@ -1,0 +1,110 @@
+//! Exponential distribution (used for scene-process components and as the
+//! textbook SRD contrast case).
+
+use super::ContinuousDist;
+
+/// Exponential distribution with rate `λ` (mean `1/λ`).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Exponential {
+    rate: f64,
+}
+
+impl Exponential {
+    /// Creates an exponential distribution. Panics unless `λ > 0`.
+    pub fn new(rate: f64) -> Self {
+        assert!(rate > 0.0, "Exponential requires rate > 0, got {rate}");
+        Exponential { rate }
+    }
+
+    /// Creates from the mean (`λ = 1/mean`).
+    pub fn from_mean(mean: f64) -> Self {
+        assert!(mean > 0.0, "Exponential mean must be positive, got {mean}");
+        Exponential::new(1.0 / mean)
+    }
+
+    /// Rate parameter λ.
+    pub fn rate(&self) -> f64 {
+        self.rate
+    }
+}
+
+impl ContinuousDist for Exponential {
+    fn name(&self) -> &'static str {
+        "Exponential"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < 0.0 {
+            0.0
+        } else {
+            self.rate * (-self.rate * x).exp()
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            -(-self.rate * x).exp_m1()
+        }
+    }
+
+    fn ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            (-self.rate * x).exp()
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        -(1.0 - p).ln() / self.rate
+    }
+
+    fn mean(&self) -> f64 {
+        1.0 / self.rate
+    }
+
+    fn variance(&self) -> f64 {
+        1.0 / (self.rate * self.rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil;
+
+    #[test]
+    fn basic_values() {
+        let d = Exponential::new(2.0);
+        assert_eq!(d.pdf(0.0), 2.0);
+        assert!((d.cdf(0.5) - (1.0 - (-1.0f64).exp())).abs() < 1e-14);
+        assert!((d.mean() - 0.5).abs() < 1e-15);
+        assert!((d.variance() - 0.25).abs() < 1e-15);
+    }
+
+    #[test]
+    fn memoryless_property() {
+        // P[X > s+t] = P[X > s] P[X > t]
+        let d = Exponential::new(0.7);
+        let (s, t) = (1.3, 2.9);
+        assert!((d.ccdf(s + t) - d.ccdf(s) * d.ccdf(t)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        testutil::check_quantile_roundtrip(&Exponential::new(3.0), 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates() {
+        testutil::check_pdf_integrates(&Exponential::new(1.0), 1e-3);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        testutil::check_sample_moments(&Exponential::from_mean(4.0), 100_000, 0.02);
+    }
+}

@@ -1,0 +1,135 @@
+//! Lognormal distribution — the "heavier-tailed bell" candidate of Fig 4.
+
+use super::ContinuousDist;
+use crate::special::{norm_cdf, norm_pdf, norm_quantile};
+
+/// Lognormal: `ln X ~ N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Lognormal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Lognormal {
+    /// Creates a lognormal with log-mean `μ` and log-std `σ > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "Lognormal requires sigma > 0, got {sigma}");
+        Lognormal { mu, sigma }
+    }
+
+    /// Fits by matching the distribution's mean and standard deviation
+    /// (method of moments on the linear scale).
+    pub fn from_moments(mean: f64, std_dev: f64) -> Self {
+        assert!(mean > 0.0 && std_dev > 0.0, "Lognormal moments must be positive");
+        let cv2 = (std_dev / mean).powi(2);
+        let sigma2 = (1.0 + cv2).ln();
+        let mu = mean.ln() - sigma2 / 2.0;
+        Lognormal::new(mu, sigma2.sqrt())
+    }
+
+    /// Log-scale location μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Log-scale std σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+}
+
+impl ContinuousDist for Lognormal {
+    fn name(&self) -> &'static str {
+        "Lognormal"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            norm_pdf((x.ln() - self.mu) / self.sigma) / (x * self.sigma)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            0.0
+        } else {
+            norm_cdf((x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn ccdf(&self, x: f64) -> f64 {
+        if x <= 0.0 {
+            1.0
+        } else {
+            norm_cdf(-(x.ln() - self.mu) / self.sigma)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        (self.mu + self.sigma * norm_quantile(p)).exp()
+    }
+
+    fn mean(&self) -> f64 {
+        (self.mu + self.sigma * self.sigma / 2.0).exp()
+    }
+
+    fn variance(&self) -> f64 {
+        let s2 = self.sigma * self.sigma;
+        ((s2).exp_m1()) * (2.0 * self.mu + s2).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil;
+
+    #[test]
+    fn median_is_exp_mu() {
+        let d = Lognormal::new(1.0, 0.5);
+        assert!((d.quantile(0.5) - 1.0f64.exp()).abs() < 1e-10);
+        assert!((d.cdf(1.0f64.exp()) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn from_moments_round_trips() {
+        let d = Lognormal::from_moments(27_791.0, 6_254.0);
+        assert!((d.mean() - 27_791.0).abs() < 1e-6);
+        assert!((d.variance().sqrt() - 6_254.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        testutil::check_quantile_roundtrip(&Lognormal::new(0.3, 1.2), 1e-10);
+    }
+
+    #[test]
+    fn pdf_integrates() {
+        testutil::check_pdf_integrates(&Lognormal::new(0.0, 0.4), 1e-4);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        testutil::check_sample_moments(&Lognormal::new(1.0, 0.3), 100_000, 0.01);
+    }
+
+    #[test]
+    fn heavier_tail_than_matched_normal_lighter_than_pareto() {
+        // The Fig 4 ordering at large x: Normal < Lognormal < Pareto.
+        let mean = 100.0;
+        let sd = 20.0;
+        let ln = Lognormal::from_moments(mean, sd);
+        let nm = crate::dist::Normal::new(mean, sd);
+        let x = mean + 6.0 * sd;
+        assert!(ln.ccdf(x) > nm.ccdf(x));
+    }
+
+    #[test]
+    fn zero_below_support() {
+        let d = Lognormal::new(0.0, 1.0);
+        assert_eq!(d.pdf(0.0), 0.0);
+        assert_eq!(d.cdf(-1.0), 0.0);
+    }
+}

@@ -1,0 +1,124 @@
+//! Normal (Gaussian) distribution.
+
+use super::ContinuousDist;
+use crate::special::{norm_cdf, norm_pdf, norm_quantile};
+
+/// Normal distribution `N(μ, σ²)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Normal {
+    mu: f64,
+    sigma: f64,
+}
+
+impl Normal {
+    /// Standard normal `N(0, 1)`.
+    pub const STANDARD: Normal = Normal { mu: 0.0, sigma: 1.0 };
+
+    /// Creates `N(μ, σ²)`. Panics unless `σ > 0`.
+    pub fn new(mu: f64, sigma: f64) -> Self {
+        assert!(sigma > 0.0, "Normal requires sigma > 0, got {sigma}");
+        Normal { mu, sigma }
+    }
+
+    /// Moment fit — for the Normal the sample mean/std *are* the MLE.
+    pub fn from_moments(mean: f64, std_dev: f64) -> Self {
+        Normal::new(mean, std_dev)
+    }
+
+    /// Location parameter μ.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// Scale parameter σ.
+    pub fn sigma(&self) -> f64 {
+        self.sigma
+    }
+
+    fn z(&self, x: f64) -> f64 {
+        (x - self.mu) / self.sigma
+    }
+}
+
+impl ContinuousDist for Normal {
+    fn name(&self) -> &'static str {
+        "Normal"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        norm_pdf(self.z(x)) / self.sigma
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        norm_cdf(self.z(x))
+    }
+
+    fn ccdf(&self, x: f64) -> f64 {
+        // Use the symmetric form to stay accurate in the right tail.
+        norm_cdf(-self.z(x))
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        self.mu + self.sigma * norm_quantile(p)
+    }
+
+    fn mean(&self) -> f64 {
+        self.mu
+    }
+
+    fn variance(&self) -> f64 {
+        self.sigma * self.sigma
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil;
+
+    #[test]
+    fn standard_normal_values() {
+        let d = Normal::STANDARD;
+        assert!((d.pdf(0.0) - 0.398_942_280_401_432_7).abs() < 1e-14);
+        assert!((d.cdf(0.0) - 0.5).abs() < 1e-14);
+        assert!((d.quantile(0.5)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn location_scale() {
+        let d = Normal::new(10.0, 2.0);
+        assert_eq!(d.mean(), 10.0);
+        assert_eq!(d.variance(), 4.0);
+        assert!((d.cdf(10.0) - 0.5).abs() < 1e-14);
+        assert!((d.cdf(12.0) - Normal::STANDARD.cdf(1.0)).abs() < 1e-14);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        testutil::check_quantile_roundtrip(&Normal::new(5.0, 3.0), 1e-10);
+    }
+
+    #[test]
+    fn pdf_integrates() {
+        testutil::check_pdf_integrates(&Normal::new(-2.0, 0.5), 1e-4);
+    }
+
+    #[test]
+    fn sampling_moments() {
+        testutil::check_sample_moments(&Normal::new(7.0, 1.5), 100_000, 0.01);
+    }
+
+    #[test]
+    fn tail_ccdf_accurate() {
+        // P[Z > 6] ≈ 9.865876e-10; naive 1-cdf would round to ~1e-16 noise.
+        let d = Normal::STANDARD;
+        let t = d.ccdf(6.0);
+        assert!((t / 9.865_876_450_377_018e-10 - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "sigma > 0")]
+    fn rejects_non_positive_sigma() {
+        Normal::new(0.0, 0.0);
+    }
+}

@@ -1,0 +1,160 @@
+//! Pareto distribution — the paper's heavy-tail model (Eqs 15–16).
+
+use super::ContinuousDist;
+
+/// Pareto distribution with minimum `k` and tail index `a`:
+/// `F(x) = 1 − (k/x)^a` for `x > k`.
+///
+/// `k` is "the minimum allowed value of x" and `a` "the slope of the tail
+/// on a log-log graph" (paper §4.2, Fig 4).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Pareto {
+    k: f64,
+    a: f64,
+}
+
+impl Pareto {
+    /// Creates a Pareto distribution. Panics unless `k > 0` and `a > 0`.
+    pub fn new(k: f64, a: f64) -> Self {
+        assert!(k > 0.0, "Pareto requires k > 0, got {k}");
+        assert!(a > 0.0, "Pareto requires a > 0, got {a}");
+        Pareto { k, a }
+    }
+
+    /// Minimum value `k`.
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+
+    /// Tail index `a` (log-log CCDF slope is `−a`).
+    pub fn a(&self) -> f64 {
+        self.a
+    }
+
+    /// Fits a Pareto by maximum likelihood to observations above `k`
+    /// (Hill-style estimator): `â = n / Σ ln(xᵢ/k)`.
+    pub fn mle_above(k: f64, xs: &[f64]) -> Self {
+        assert!(k > 0.0);
+        let tail: Vec<f64> = xs.iter().copied().filter(|&x| x > k).collect();
+        assert!(!tail.is_empty(), "no observations above k = {k}");
+        let s: f64 = tail.iter().map(|&x| (x / k).ln()).sum();
+        Pareto::new(k, tail.len() as f64 / s)
+    }
+}
+
+impl ContinuousDist for Pareto {
+    fn name(&self) -> &'static str {
+        "Pareto"
+    }
+
+    fn pdf(&self, x: f64) -> f64 {
+        if x < self.k {
+            0.0
+        } else {
+            self.a * self.k.powf(self.a) / x.powf(self.a + 1.0)
+        }
+    }
+
+    fn cdf(&self, x: f64) -> f64 {
+        if x <= self.k {
+            0.0
+        } else {
+            1.0 - (self.k / x).powf(self.a)
+        }
+    }
+
+    fn ccdf(&self, x: f64) -> f64 {
+        if x <= self.k {
+            1.0
+        } else {
+            (self.k / x).powf(self.a)
+        }
+    }
+
+    fn quantile(&self, p: f64) -> f64 {
+        assert!((0.0..=1.0).contains(&p), "quantile p out of range: {p}");
+        if p == 1.0 {
+            return f64::INFINITY;
+        }
+        self.k / (1.0 - p).powf(1.0 / self.a)
+    }
+
+    fn mean(&self) -> f64 {
+        if self.a <= 1.0 {
+            f64::INFINITY
+        } else {
+            self.a * self.k / (self.a - 1.0)
+        }
+    }
+
+    fn variance(&self) -> f64 {
+        if self.a <= 2.0 {
+            f64::INFINITY
+        } else {
+            self.k * self.k * self.a / ((self.a - 1.0).powi(2) * (self.a - 2.0))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dist::testutil;
+
+    #[test]
+    fn cdf_closed_form() {
+        let d = Pareto::new(2.0, 3.0);
+        assert_eq!(d.cdf(2.0), 0.0);
+        assert!((d.cdf(4.0) - (1.0 - 0.125)).abs() < 1e-12);
+        assert!((d.ccdf(4.0) - 0.125).abs() < 1e-12);
+    }
+
+    #[test]
+    fn loglog_ccdf_is_linear_with_slope_minus_a() {
+        let d = Pareto::new(1.0, 1.7);
+        let x1 = 10.0;
+        let x2 = 1000.0;
+        let slope = (d.ccdf(x2).ln() - d.ccdf(x1).ln()) / (x2.ln() - x1.ln());
+        assert!((slope + 1.7).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_roundtrip() {
+        testutil::check_quantile_roundtrip(&Pareto::new(5.0, 2.5), 1e-12);
+    }
+
+    #[test]
+    fn pdf_integrates() {
+        testutil::check_pdf_integrates(&Pareto::new(1.0, 3.0), 1e-3);
+    }
+
+    #[test]
+    fn moments() {
+        let d = Pareto::new(1.0, 3.0);
+        assert!((d.mean() - 1.5).abs() < 1e-12);
+        assert!((d.variance() - 0.75).abs() < 1e-12);
+        assert_eq!(Pareto::new(1.0, 0.9).mean(), f64::INFINITY);
+        assert_eq!(Pareto::new(1.0, 1.5).variance(), f64::INFINITY);
+    }
+
+    #[test]
+    fn sampling_moments_finite_case() {
+        testutil::check_sample_moments(&Pareto::new(2.0, 5.0), 200_000, 0.02);
+    }
+
+    #[test]
+    fn mle_recovers_tail_index() {
+        let truth = Pareto::new(1.0, 2.2);
+        let mut rng = crate::rng::Xoshiro256::seed_from_u64(123);
+        let xs = crate::dist::sample_n(&truth, 50_000, &mut rng);
+        let fit = Pareto::mle_above(1.0, &xs);
+        assert!((fit.a() - 2.2).abs() < 0.05, "fit a = {}", fit.a());
+    }
+
+    #[test]
+    fn below_support() {
+        let d = Pareto::new(3.0, 1.0);
+        assert_eq!(d.pdf(2.9), 0.0);
+        assert_eq!(d.cdf(1.0), 0.0);
+    }
+}

@@ -1,0 +1,156 @@
+//! The periodogram (empirical power spectral density) — Fig 8, and the
+//! input to Whittle's estimator (Table 3).
+
+use vbr_fft::power_spectrum;
+
+/// A periodogram: Fourier frequencies `ω_j = 2πj/n` and intensities
+/// `I(ω_j) = |Σ x_t e^{-iω_j t}|² / (2πn)` for `j = 1..⌈n/2⌉`.
+#[derive(Debug, Clone)]
+pub struct Periodogram {
+    freqs: Vec<f64>,
+    power: Vec<f64>,
+}
+
+impl Periodogram {
+    /// Computes the periodogram of a (mean-removed) series.
+    ///
+    /// The mean is subtracted internally, so the DC bin is excluded by
+    /// construction; frequencies run from `2π/n` up to `π`.
+    pub fn compute(xs: &[f64]) -> Self {
+        let n = xs.len();
+        assert!(n >= 2, "periodogram needs at least 2 points");
+        let mean = xs.iter().sum::<f64>() / n as f64;
+        let centred: Vec<f64> = xs.iter().map(|&x| x - mean).collect();
+        let spec = power_spectrum(&centred);
+        let half = n / 2;
+        let norm = 1.0 / (2.0 * std::f64::consts::PI * n as f64);
+        let freqs = (1..=half)
+            .map(|j| 2.0 * std::f64::consts::PI * j as f64 / n as f64)
+            .collect();
+        let power = (1..=half).map(|j| spec[j] * norm).collect();
+        Periodogram { freqs, power }
+    }
+
+    /// Fourier frequencies in radians per sample, ascending.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Periodogram ordinates `I(ω_j)`.
+    pub fn power(&self) -> &[f64] {
+        &self.power
+    }
+
+    /// Number of ordinates (`⌊n/2⌋`).
+    pub fn len(&self) -> usize {
+        self.freqs.len()
+    }
+
+    /// True when no ordinates exist.
+    pub fn is_empty(&self) -> bool {
+        self.freqs.is_empty()
+    }
+
+    /// Log-log slope `−α` over the lowest `fraction` of frequencies —
+    /// the LRD power-law exponent of Fig 8 (`I(ω) ~ ω^{−α}` as ω → 0,
+    /// with `α = 2H − 1`).
+    pub fn low_freq_slope(&self, fraction: f64) -> crate::regression::LineFit {
+        assert!(fraction > 0.0 && fraction <= 1.0);
+        let m = ((self.freqs.len() as f64 * fraction) as usize).max(2);
+        crate::regression::fit_loglog(&self.freqs[..m], &self.power[..m])
+    }
+
+    /// Total power `Σ I(ω_j) · 2π/n ≈ σ²/2` sanity quantity — by
+    /// Parseval the periodogram over all ±frequencies integrates to the
+    /// series variance.
+    pub fn total_power(&self) -> f64 {
+        // Ordinates cover only positive frequencies; double to account for
+        // the mirrored half.
+        let n = 2 * self.freqs.len();
+        2.0 * self.power.iter().sum::<f64>() * 2.0 * std::f64::consts::PI / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::Xoshiro256;
+
+    #[test]
+    fn pure_tone_peaks_at_its_frequency() {
+        let n = 1024;
+        let f = 50;
+        let xs: Vec<f64> = (0..n)
+            .map(|i| (2.0 * std::f64::consts::PI * f as f64 * i as f64 / n as f64).sin())
+            .collect();
+        let p = Periodogram::compute(&xs);
+        let (argmax, _) = p
+            .power()
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        // Ordinate j corresponds to frequency index j+1.
+        assert_eq!(argmax + 1, f);
+    }
+
+    #[test]
+    fn parseval_total_power_matches_variance() {
+        let mut rng = Xoshiro256::seed_from_u64(4);
+        let xs: Vec<f64> = (0..4096).map(|_| rng.standard_normal() * 3.0).collect();
+        let p = Periodogram::compute(&xs);
+        let var = {
+            let m = xs.iter().sum::<f64>() / xs.len() as f64;
+            xs.iter().map(|x| (x - m).powi(2)).sum::<f64>() / xs.len() as f64
+        };
+        assert!(
+            (p.total_power() - var).abs() / var < 0.01,
+            "{} vs {var}",
+            p.total_power()
+        );
+    }
+
+    #[test]
+    fn white_noise_spectrum_is_flat() {
+        let mut rng = Xoshiro256::seed_from_u64(5);
+        let xs: Vec<f64> = (0..65_536).map(|_| rng.standard_normal()).collect();
+        let p = Periodogram::compute(&xs);
+        // Average the ordinates in the lowest and highest decades; for
+        // white noise they must agree (no ω^-α blow-up).
+        let k = p.len() / 10;
+        let low: f64 = p.power()[..k].iter().sum::<f64>() / k as f64;
+        let high: f64 = p.power()[p.len() - k..].iter().sum::<f64>() / k as f64;
+        assert!((low / high - 1.0).abs() < 0.1, "low {low} high {high}");
+        let fit = p.low_freq_slope(0.1);
+        assert!(fit.slope.abs() < 0.1, "slope {}", fit.slope);
+    }
+
+    #[test]
+    fn ar1_has_negative_low_freq_slope_but_finite_limit() {
+        // AR(1) is SRD: spectrum is elevated at low frequency but flattens
+        // (slope → 0 as ω → 0 at the very lowest frequencies for long
+        // series). We just check it's far from white.
+        let mut rng = Xoshiro256::seed_from_u64(6);
+        let n = 32_768;
+        let mut xs = Vec::with_capacity(n);
+        let mut x = 0.0;
+        for _ in 0..n {
+            x = 0.9 * x + rng.standard_normal();
+            xs.push(x);
+        }
+        let p = Periodogram::compute(&xs);
+        let k = p.len() / 10;
+        let low: f64 = p.power()[..k].iter().sum::<f64>() / k as f64;
+        let high: f64 = p.power()[p.len() - k..].iter().sum::<f64>() / k as f64;
+        assert!(low / high > 10.0);
+    }
+
+    #[test]
+    fn frequencies_ascend_to_pi() {
+        let xs: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let p = Periodogram::compute(&xs);
+        assert_eq!(p.len(), 50);
+        assert!(p.freqs().windows(2).all(|w| w[0] < w[1]));
+        assert!((p.freqs()[p.len() - 1] - std::f64::consts::PI).abs() < 1e-12);
+    }
+}

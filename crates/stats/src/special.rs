@@ -1,0 +1,373 @@
+//! Special functions: log-gamma, regularised incomplete gamma, error
+//! function family and the inverse normal CDF.
+//!
+//! These are the numerical kernels behind every distribution in
+//! [`crate::dist`]. All routines are pure `f64` implementations of the
+//! standard algorithms (Lanczos, NR-style series/continued fraction,
+//! Acklam's inverse-normal rational approximation with a Halley
+//! refinement step).
+
+/// Natural log of the Gamma function, Lanczos approximation (g = 7, n = 9).
+///
+/// Accurate to ~1e-13 relative over the positive axis; uses the reflection
+/// formula for `x < 0.5`.
+pub fn ln_gamma(x: f64) -> f64 {
+    const G: f64 = 7.0;
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    if x < 0.5 {
+        // Reflection: Γ(x) Γ(1−x) = π / sin(πx)
+        let pi = std::f64::consts::PI;
+        return (pi / (pi * x).sin()).ln() - ln_gamma(1.0 - x);
+    }
+    let x = x - 1.0;
+    let mut a = COEF[0];
+    let t = x + G + 0.5;
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        a += c / (x + i as f64);
+    }
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (x + 0.5) * t.ln() - t + a.ln()
+}
+
+/// Digamma function `ψ(x) = d/dx ln Γ(x)` — asymptotic series with
+/// upward recurrence (accurate to ~1e-12 for x > 0).
+pub fn digamma(x: f64) -> f64 {
+    assert!(x > 0.0, "digamma requires x > 0, got {x}");
+    let mut x = x;
+    let mut acc = 0.0;
+    // Recurrence ψ(x) = ψ(x+1) − 1/x until the asymptotic zone.
+    while x < 10.0 {
+        acc -= 1.0 / x;
+        x += 1.0;
+    }
+    // Asymptotic expansion ψ(x) ≈ ln x − 1/(2x) − Σ B_{2k}/(2k x^{2k}).
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + x.ln() - 0.5 * inv
+        - inv2
+            * (1.0 / 12.0
+                - inv2
+                    * (1.0 / 120.0
+                        - inv2
+                            * (1.0 / 252.0
+                                - inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))))
+}
+
+/// Regularised lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
+///
+/// Series expansion for `x < a + 1`, continued fraction otherwise
+/// (Numerical Recipes §6.2).
+pub fn gamma_p(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_p requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 0.0;
+    }
+    if x < a + 1.0 {
+        gamma_p_series(a, x)
+    } else {
+        1.0 - gamma_q_contfrac(a, x)
+    }
+}
+
+/// Regularised upper incomplete gamma `Q(a, x) = 1 − P(a, x)`.
+pub fn gamma_q(a: f64, x: f64) -> f64 {
+    assert!(a > 0.0, "gamma_q requires a > 0, got {a}");
+    if x <= 0.0 {
+        return 1.0;
+    }
+    if x < a + 1.0 {
+        1.0 - gamma_p_series(a, x)
+    } else {
+        gamma_q_contfrac(a, x)
+    }
+}
+
+fn gamma_p_series(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    let mut ap = a;
+    let mut sum = 1.0 / a;
+    let mut del = sum;
+    for _ in 0..MAX_ITER {
+        ap += 1.0;
+        del *= x / ap;
+        sum += del;
+        if del.abs() < sum.abs() * EPS {
+            break;
+        }
+    }
+    sum * (-x + a * x.ln() - ln_gamma(a)).exp()
+}
+
+fn gamma_q_contfrac(a: f64, x: f64) -> f64 {
+    const MAX_ITER: usize = 500;
+    const EPS: f64 = 1e-15;
+    const FPMIN: f64 = f64::MIN_POSITIVE / EPS;
+    let mut b = x + 1.0 - a;
+    let mut c = 1.0 / FPMIN;
+    let mut d = 1.0 / b;
+    let mut h = d;
+    for i in 1..=MAX_ITER {
+        let an = -(i as f64) * (i as f64 - a);
+        b += 2.0;
+        d = an * d + b;
+        if d.abs() < FPMIN {
+            d = FPMIN;
+        }
+        c = b + an / c;
+        if c.abs() < FPMIN {
+            c = FPMIN;
+        }
+        d = 1.0 / d;
+        let del = d * c;
+        h *= del;
+        if (del - 1.0).abs() < EPS {
+            break;
+        }
+    }
+    (-x + a * x.ln() - ln_gamma(a)).exp() * h
+}
+
+/// Error function, via the incomplete gamma identity `erf(x) = P(½, x²)`.
+pub fn erf(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_p(0.5, x * x)
+    } else {
+        -gamma_p(0.5, x * x)
+    }
+}
+
+/// Complementary error function `erfc(x) = 1 − erf(x)` with full accuracy
+/// in the right tail (`erfc(x) = Q(½, x²)` for `x > 0`).
+pub fn erfc(x: f64) -> f64 {
+    if x >= 0.0 {
+        gamma_q(0.5, x * x)
+    } else {
+        1.0 + gamma_p(0.5, x * x)
+    }
+}
+
+/// Standard normal CDF `Φ(x)` computed from `erfc` (accurate in both tails).
+pub fn norm_cdf(x: f64) -> f64 {
+    0.5 * erfc(-x / std::f64::consts::SQRT_2)
+}
+
+/// Standard normal density `φ(x)`.
+pub fn norm_pdf(x: f64) -> f64 {
+    (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
+}
+
+/// Inverse standard normal CDF `Φ⁻¹(p)`.
+///
+/// Acklam's rational approximation (~1.2e-9 relative error) followed by one
+/// Halley refinement step against the high-accuracy [`norm_cdf`], which
+/// brings it to near machine precision.
+pub fn norm_quantile(p: f64) -> f64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "norm_quantile requires p in [0,1], got {p}"
+    );
+    if p == 0.0 {
+        return f64::NEG_INFINITY;
+    }
+    if p == 1.0 {
+        return f64::INFINITY;
+    }
+
+    // Acklam coefficients.
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    // One Halley step: u = (Φ(x) − p) / φ(x); x ← x − u / (1 + x u / 2).
+    let e = norm_cdf(x) - p;
+    let u = e / norm_pdf(x);
+    x - u / (1.0 + x * u / 2.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ln_gamma_known_values() {
+        // Γ(1)=1, Γ(2)=1, Γ(5)=24, Γ(1/2)=√π
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24.0f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(0.5) - std::f64::consts::PI.sqrt().ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ln_gamma_recurrence() {
+        // ln Γ(x+1) = ln x + ln Γ(x)
+        for &x in &[0.1, 0.7, 1.3, 3.9, 10.5, 123.4] {
+            let lhs = ln_gamma(x + 1.0);
+            let rhs = x.ln() + ln_gamma(x);
+            assert!((lhs - rhs).abs() < 1e-10 * lhs.abs().max(1.0), "x={x}");
+        }
+    }
+
+    #[test]
+    fn ln_gamma_reflection_negative_half() {
+        // Γ(-0.5) = -2√π → ln|Γ| test via the reflection branch at x=0.25:
+        // Γ(0.25)Γ(0.75) = π/sin(π/4) = π√2
+        let lhs = ln_gamma(0.25) + ln_gamma(0.75);
+        let rhs = (std::f64::consts::PI * std::f64::consts::SQRT_2).ln();
+        assert!((lhs - rhs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn incomplete_gamma_complementarity() {
+        for &a in &[0.5, 1.0, 2.5, 10.0] {
+            for &x in &[0.1, 1.0, 2.0, 5.0, 20.0] {
+                let s = gamma_p(a, x) + gamma_q(a, x);
+                assert!((s - 1.0).abs() < 1e-12, "a={a} x={x}");
+            }
+        }
+    }
+
+    #[test]
+    fn incomplete_gamma_exponential_special_case() {
+        // P(1, x) = 1 − e^{−x}
+        for &x in &[0.01, 0.5, 1.0, 3.0, 10.0] {
+            assert!((gamma_p(1.0, x) - (1.0 - (-x).exp())).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn erf_known_values() {
+        assert!(erf(0.0).abs() < 1e-15);
+        // erf(1) = 0.8427007929497149
+        assert!((erf(1.0) - 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(-1.0) + 0.842_700_792_949_714_9).abs() < 1e-12);
+        assert!((erf(3.0) - 0.999_977_909_503_001_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn erfc_deep_tail() {
+        // erfc(5) = 1.5374597944280347e-12 — must not lose accuracy to
+        // cancellation.
+        let v = erfc(5.0);
+        assert!((v / 1.537_459_794_428_034_7e-12 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn norm_cdf_symmetry_and_values() {
+        assert!((norm_cdf(0.0) - 0.5).abs() < 1e-15);
+        for &x in &[0.3, 1.0, 2.5, 4.0] {
+            assert!((norm_cdf(x) + norm_cdf(-x) - 1.0).abs() < 1e-13);
+        }
+        // Φ(1.96) ≈ 0.9750021048517795
+        assert!((norm_cdf(1.96) - 0.975_002_104_851_779_5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn norm_quantile_inverts_cdf() {
+        for &p in &[1e-10, 1e-6, 0.01, 0.3, 0.5, 0.7, 0.99, 1.0 - 1e-6] {
+            let x = norm_quantile(p);
+            assert!((norm_cdf(x) - p).abs() < 1e-12 * p.max(1e-3), "p={p}");
+        }
+    }
+
+    #[test]
+    fn norm_quantile_endpoints() {
+        assert_eq!(norm_quantile(0.0), f64::NEG_INFINITY);
+        assert_eq!(norm_quantile(1.0), f64::INFINITY);
+        assert!(norm_quantile(0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn norm_quantile_median_quartiles() {
+        // Φ⁻¹(0.975) = 1.959963984540054
+        assert!((norm_quantile(0.975) - 1.959_963_984_540_054).abs() < 1e-10);
+        assert!((norm_quantile(0.025) + 1.959_963_984_540_054).abs() < 1e-10);
+    }
+}
+
+#[cfg(test)]
+mod digamma_tests {
+    use super::*;
+
+    #[test]
+    fn digamma_known_values() {
+        // ψ(1) = −γ (Euler–Mascheroni)
+        assert!((digamma(1.0) + 0.577_215_664_901_532_9).abs() < 1e-13);
+        // ψ(1/2) = −γ − 2 ln 2
+        assert!(
+            (digamma(0.5) + 0.577_215_664_901_532_9 + 2.0 * 2.0f64.ln()).abs() < 1e-12
+        );
+        // ψ(2) = 1 − γ
+        assert!((digamma(2.0) - (1.0 - 0.577_215_664_901_532_9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn digamma_recurrence() {
+        for &x in &[0.3, 1.7, 5.5, 42.0] {
+            assert!(
+                (digamma(x + 1.0) - digamma(x) - 1.0 / x).abs() < 1e-11,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn digamma_is_lngamma_derivative() {
+        for &x in &[0.8, 3.0, 12.0] {
+            let h = 1e-6;
+            let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
+            assert!((digamma(x) - numeric).abs() < 1e-6, "x = {x}");
+        }
+    }
+}

@@ -1,0 +1,137 @@
+//! Property-based tests for the statistics substrate.
+
+use proptest::prelude::*;
+use vbr_stats::dist::{ContinuousDist, Exponential, Gamma, GammaPareto, Lognormal, Normal, Pareto};
+use vbr_stats::{autocorrelation, moving_average, quantile, Ecdf, Moments};
+
+proptest! {
+    #[test]
+    fn moments_match_naive(xs in prop::collection::vec(-1e6f64..1e6, 2..200)) {
+        let m = Moments::from_slice(&xs);
+        let n = xs.len() as f64;
+        let mean = xs.iter().sum::<f64>() / n;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n;
+        prop_assert!((m.mean() - mean).abs() <= 1e-9 * mean.abs().max(1.0));
+        prop_assert!((m.variance() - var).abs() <= 1e-6 * var.max(1.0));
+        prop_assert!(m.min() <= m.mean() && m.mean() <= m.max());
+    }
+
+    #[test]
+    fn merge_equals_concat(
+        a in prop::collection::vec(-1e3f64..1e3, 1..100),
+        b in prop::collection::vec(-1e3f64..1e3, 1..100),
+    ) {
+        let mut m1 = Moments::from_slice(&a);
+        m1.merge(&Moments::from_slice(&b));
+        let mut all = a.clone();
+        all.extend_from_slice(&b);
+        let m2 = Moments::from_slice(&all);
+        prop_assert!((m1.mean() - m2.mean()).abs() < 1e-9);
+        prop_assert!((m1.variance() - m2.variance()).abs() < 1e-7 * m2.variance().max(1.0));
+    }
+
+    #[test]
+    fn quantile_is_monotone(xs in prop::collection::vec(-1e3f64..1e3, 2..100)) {
+        let q25 = quantile(&xs, 0.25);
+        let q50 = quantile(&xs, 0.5);
+        let q75 = quantile(&xs, 0.75);
+        prop_assert!(q25 <= q50 && q50 <= q75);
+    }
+
+    #[test]
+    fn ecdf_is_monotone_cdf(xs in prop::collection::vec(-100.0f64..100.0, 1..100)) {
+        let e = Ecdf::new(&xs);
+        let mut prev = 0.0;
+        for i in -100..=100 {
+            let c = e.cdf(i as f64);
+            prop_assert!(c >= prev);
+            prop_assert!((0.0..=1.0).contains(&c));
+            prev = c;
+        }
+        prop_assert_eq!(e.cdf(f64::INFINITY), 1.0);
+    }
+
+    #[test]
+    fn acf_bounded_and_unit_at_zero(
+        xs in prop::collection::vec(-50.0f64..50.0, 8..200)
+            .prop_filter("non-constant", |v| {
+                v.iter().any(|&x| (x - v[0]).abs() > 1e-9)
+            })
+    ) {
+        let r = autocorrelation(&xs, xs.len() / 2);
+        prop_assert!((r[0] - 1.0).abs() < 1e-12);
+        for &v in &r {
+            prop_assert!(v >= -1.0 - 1e-9 && v <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn moving_average_preserves_bounds(
+        xs in prop::collection::vec(0.0f64..1e3, 1..200),
+        w in 1usize..50,
+    ) {
+        let lo = xs.iter().cloned().fold(f64::INFINITY, f64::min);
+        let hi = xs.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+        for v in moving_average(&xs, w) {
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+
+    #[test]
+    fn normal_quantile_roundtrip(mu in -100.0f64..100.0, sigma in 0.01f64..50.0, p in 0.001f64..0.999) {
+        let d = Normal::new(mu, sigma);
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_quantile_roundtrip(shape in 0.1f64..50.0, rate in 0.001f64..10.0, p in 0.001f64..0.999) {
+        let d = Gamma::new(shape, rate);
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-7);
+    }
+
+    #[test]
+    fn pareto_quantile_roundtrip(k in 0.1f64..100.0, a in 0.2f64..15.0, p in 0.0f64..0.9999) {
+        let d = Pareto::new(k, a);
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn lognormal_quantile_roundtrip(mu in -3.0f64..3.0, sigma in 0.05f64..2.0, p in 0.001f64..0.999) {
+        let d = Lognormal::new(mu, sigma);
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-9);
+    }
+
+    #[test]
+    fn exponential_quantile_roundtrip(rate in 0.001f64..100.0, p in 0.0f64..0.9999) {
+        let d = Exponential::new(rate);
+        prop_assert!((d.cdf(d.quantile(p)) - p).abs() < 1e-10);
+    }
+
+    #[test]
+    fn gamma_pareto_cdf_monotone_and_roundtrip(
+        mu in 10.0f64..1e5,
+        cv in 0.05f64..0.8,
+        a in 1.5f64..15.0,
+        p in 0.001f64..0.999,
+    ) {
+        let d = GammaPareto::from_params(mu, mu * cv, a);
+        let x = d.quantile(p);
+        prop_assert!(x > 0.0);
+        prop_assert!((d.cdf(x) - p).abs() < 1e-6);
+        // CDF and CCDF complement each other.
+        prop_assert!((d.cdf(x) + d.ccdf(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gamma_pareto_density_continuous(
+        mu in 10.0f64..1e5,
+        cv in 0.05f64..0.8,
+        a in 1.5f64..15.0,
+    ) {
+        let d = GammaPareto::from_params(mu, mu * cv, a);
+        let x = d.threshold();
+        let below = d.pdf(x * (1.0 - 1e-8));
+        let above = d.pdf(x * (1.0 + 1e-8));
+        prop_assert!((below - above).abs() <= 1e-5 * below.max(1e-300));
+    }
+}

@@ -1,0 +1,143 @@
+//! Monochrome frame buffers (the paper codes only the luminance
+//! component: 8 bits/pel, 480 lines × 504 pels).
+
+/// A monochrome (luminance-only) frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    data: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a black frame. Dimensions must be multiples of 8 (the DCT
+    /// block size), as in the paper's 480×504 format.
+    pub fn new(width: usize, height: usize) -> Self {
+        assert!(width > 0 && height > 0, "frame dimensions must be positive");
+        assert!(
+            width.is_multiple_of(8) && height.is_multiple_of(8),
+            "frame dimensions must be multiples of the 8x8 DCT block size, got {width}x{height}"
+        );
+        Frame { width, height, data: vec![0; width * height] }
+    }
+
+    /// Frame width in pels.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in lines.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Raw pel data, row-major.
+    pub fn data(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Pel at `(x, y)`.
+    #[inline]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.data[y * self.width + x]
+    }
+
+    /// Sets the pel at `(x, y)`.
+    #[inline]
+    pub fn set(&mut self, x: usize, y: usize, v: u8) {
+        self.data[y * self.width + x] = v;
+    }
+
+    /// Number of 8×8 blocks per row.
+    pub fn blocks_per_row(&self) -> usize {
+        self.width / 8
+    }
+
+    /// Number of 8×8 block rows.
+    pub fn block_rows(&self) -> usize {
+        self.height / 8
+    }
+
+    /// Copies the 8×8 block whose top-left corner is at
+    /// `(bx*8, by*8)` into a `[f64; 64]`, centred to `[-128, 127]` as in
+    /// JPEG level shifting.
+    pub fn block(&self, bx: usize, by: usize) -> [f64; 64] {
+        let mut out = [0.0; 64];
+        for row in 0..8 {
+            let y = by * 8 + row;
+            for col in 0..8 {
+                let x = bx * 8 + col;
+                out[row * 8 + col] = self.get(x, y) as f64 - 128.0;
+            }
+        }
+        out
+    }
+
+    /// Fills a frame from a generator function `f(x, y) -> pel`.
+    pub fn from_fn(width: usize, height: usize, mut f: impl FnMut(usize, usize) -> u8) -> Self {
+        let mut fr = Frame::new(width, height);
+        for y in 0..height {
+            for x in 0..width {
+                fr.set(x, y, f(x, y));
+            }
+        }
+        fr
+    }
+
+    /// Mean pel value.
+    pub fn mean(&self) -> f64 {
+        self.data.iter().map(|&v| v as f64).sum::<f64>() / self.data.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_frame_is_black() {
+        let f = Frame::new(16, 8);
+        assert_eq!(f.width(), 16);
+        assert_eq!(f.height(), 8);
+        assert!(f.data().iter().all(|&v| v == 0));
+        assert_eq!(f.blocks_per_row(), 2);
+        assert_eq!(f.block_rows(), 1);
+    }
+
+    #[test]
+    fn get_set_roundtrip() {
+        let mut f = Frame::new(8, 8);
+        f.set(3, 5, 200);
+        assert_eq!(f.get(3, 5), 200);
+        assert_eq!(f.get(5, 3), 0);
+    }
+
+    #[test]
+    fn block_extraction_level_shifts() {
+        let f = Frame::from_fn(16, 16, |x, y| if x < 8 && y < 8 { 128 } else { 0 });
+        let b00 = f.block(0, 0);
+        assert!(b00.iter().all(|&v| v == 0.0)); // 128 − 128
+        let b10 = f.block(1, 0);
+        assert!(b10.iter().all(|&v| v == -128.0));
+    }
+
+    #[test]
+    fn from_fn_addresses_correctly() {
+        let f = Frame::from_fn(8, 16, |x, y| (x + y * 8) as u8);
+        assert_eq!(f.get(0, 0), 0);
+        assert_eq!(f.get(7, 0), 7);
+        assert_eq!(f.get(0, 1), 8);
+    }
+
+    #[test]
+    fn mean_of_uniform_frame() {
+        let f = Frame::from_fn(8, 8, |_, _| 100);
+        assert!((f.mean() - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of the 8x8")]
+    fn rejects_non_multiple_of_8() {
+        Frame::new(10, 8);
+    }
+}

@@ -1,0 +1,109 @@
+//! The JPEG zig-zag scan order: orders 8×8 coefficients from low to high
+//! spatial frequency so that run-length coding sees long zero runs.
+
+/// Zig-zag scan order: `ZIGZAG[i]` is the row-major index of the `i`-th
+/// coefficient in scan order.
+pub const ZIGZAG: [usize; 64] = build_zigzag();
+
+const fn build_zigzag() -> [usize; 64] {
+    let mut order = [0usize; 64];
+    let mut idx = 0usize;
+    let mut d = 0usize; // anti-diagonal index r + c = d
+    while d < 15 {
+        if d.is_multiple_of(2) {
+            // Even diagonals run bottom-left → top-right.
+            let mut r = if d < 8 { d as isize } else { 7 };
+            while r >= 0 && (d as isize - r) < 8 {
+                let c = d as isize - r;
+                order[idx] = (r * 8 + c) as usize;
+                idx += 1;
+                r -= 1;
+            }
+        } else {
+            // Odd diagonals run top-right → bottom-left.
+            let mut c = if d < 8 { d as isize } else { 7 };
+            while c >= 0 && (d as isize - c) < 8 {
+                let r = d as isize - c;
+                order[idx] = (r * 8 + c) as usize;
+                idx += 1;
+                c -= 1;
+            }
+        }
+        d += 1;
+    }
+    order
+}
+
+/// Reorders a row-major 8×8 block into zig-zag scan order.
+pub fn to_zigzag(block: &[i16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = block[ZIGZAG[i]];
+    }
+    out
+}
+
+/// Inverse reorder from zig-zag scan order to row-major.
+pub fn from_zigzag(scan: &[i16; 64]) -> [i16; 64] {
+    let mut out = [0i16; 64];
+    for (i, &v) in scan.iter().enumerate() {
+        out[ZIGZAG[i]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn is_a_permutation() {
+        let mut seen = [false; 64];
+        for &i in ZIGZAG.iter() {
+            assert!(i < 64);
+            assert!(!seen[i], "index {i} repeated");
+            seen[i] = true;
+        }
+    }
+
+    #[test]
+    fn starts_and_ends_correctly() {
+        // First entries of the JPEG zig-zag: (0,0), (0,1), (1,0), (2,0), (1,1), (0,2)…
+        assert_eq!(&ZIGZAG[..6], &[0, 1, 8, 16, 9, 2]);
+        // Last entry is (7,7).
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let mut block = [0i16; 64];
+        for (i, v) in block.iter_mut().enumerate() {
+            *v = i as i16 * 3 - 50;
+        }
+        assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn diagonal_ordering_groups_frequencies() {
+        // The scan position of (r, c) must be non-decreasing in r + c:
+        // every coefficient on diagonal d comes before any on d + 2.
+        let mut pos = [0usize; 64];
+        for (i, &z) in ZIGZAG.iter().enumerate() {
+            pos[z] = i;
+        }
+        for r in 0..8usize {
+            for c in 0..8usize {
+                for r2 in 0..8usize {
+                    for c2 in 0..8usize {
+                        if r + c + 2 <= r2 + c2 {
+                            assert!(
+                                pos[r * 8 + c] < pos[r2 * 8 + c2],
+                                "({r},{c}) should scan before ({r2},{c2})"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+}

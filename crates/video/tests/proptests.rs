@@ -1,0 +1,126 @@
+//! Property-based tests for the video substrate: codec round-trips and
+//! trace invariants.
+
+use proptest::prelude::*;
+use vbr_video::huffman::{BitReader, BitWriter, HuffmanTable};
+use vbr_video::rle::{decode_amplitude, decode_block, encode_amplitude, encode_block};
+use vbr_video::zigzag::{from_zigzag, to_zigzag};
+use vbr_video::{Quantizer, Trace};
+
+proptest! {
+    #[test]
+    fn zigzag_roundtrip(levels in prop::collection::vec(-1000i16..1000, 64)) {
+        let block: [i16; 64] = levels.try_into().unwrap();
+        prop_assert_eq!(from_zigzag(&to_zigzag(&block)), block);
+    }
+
+    #[test]
+    fn amplitude_roundtrip(v in -2047i32..2047) {
+        let (raw, bits) = encode_amplitude(v);
+        prop_assert_eq!(decode_amplitude(raw, bits), v);
+    }
+
+    #[test]
+    fn rle_block_roundtrip(
+        // Sparse blocks like real quantised DCT output.
+        positions in prop::collection::vec(0usize..64, 0..20),
+        values in prop::collection::vec(-255i16..255, 20),
+        prev_dc in -200i16..200,
+    ) {
+        let mut block = [0i16; 64];
+        for (&p, &v) in positions.iter().zip(&values) {
+            block[p] = v;
+        }
+        let (tokens, dc) = encode_block(&block, prev_dc);
+        let (back, dc2) = decode_block(&tokens, prev_dc);
+        prop_assert_eq!(back, block);
+        prop_assert_eq!(dc, dc2);
+    }
+
+    #[test]
+    fn quantizer_error_bounded(step in 0.5f64..64.0, x in -2000.0f64..2000.0) {
+        let q = Quantizer::new(step);
+        let lvl = q.quantize(x);
+        let recon = q.dequantize(lvl);
+        // Error bounded by step/2 unless saturated.
+        if lvl > -128 && lvl < 127 {
+            prop_assert!((recon - x).abs() <= step / 2.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn huffman_roundtrip_random_alphabets(
+        freqs in prop::collection::vec(1u64..1000, 2..40),
+        msg_idx in prop::collection::vec(0usize..40, 1..200),
+    ) {
+        let table = HuffmanTable::from_frequencies(&freqs);
+        let msg: Vec<usize> = msg_idx.into_iter().map(|i| i % freqs.len()).collect();
+        let mut w = BitWriter::new();
+        for &s in &msg {
+            let (c, l) = table.code(s);
+            w.write(c, l);
+        }
+        let mut r = BitReader::new(w.bytes());
+        for &s in &msg {
+            prop_assert_eq!(table.decode(&mut r), s);
+        }
+    }
+
+    #[test]
+    fn huffman_kraft_inequality(freqs in prop::collection::vec(0u64..1000, 1..64)) {
+        prop_assume!(freqs.iter().any(|&f| f > 0));
+        let table = HuffmanTable::from_frequencies(&freqs);
+        let kraft: f64 = table
+            .lengths()
+            .iter()
+            .filter(|&&l| l > 0)
+            .map(|&l| 2f64.powi(-(l as i32)))
+            .sum();
+        prop_assert!(kraft <= 1.0 + 1e-12);
+    }
+
+    #[test]
+    fn trace_aggregation_conserves_bytes(
+        frames in prop::collection::vec(0u32..100_000, 1..50),
+        spf in 1usize..16,
+    ) {
+        // Expand frames into slices evenly, then check the trace sums back.
+        let mut slices = Vec::new();
+        for &fb in &frames {
+            let base = fb / spf as u32;
+            let rem = (fb % spf as u32) as usize;
+            for i in 0..spf {
+                slices.push(base + u32::from(i < rem));
+            }
+        }
+        let t = Trace::from_slices(slices, spf, 24.0);
+        prop_assert_eq!(t.frames(), frames.len());
+        for (i, &fb) in frames.iter().enumerate() {
+            prop_assert_eq!(t.frame_bytes(i), fb);
+        }
+    }
+
+    #[test]
+    fn trace_clip_respects_cap_and_monotone(
+        frames in prop::collection::vec(1u32..100_000, 1..50),
+        cap in 1u32..100_000,
+    ) {
+        let t = Trace::from_frames(frames, 24.0);
+        let c = t.clip(cap);
+        for i in 0..c.frames() {
+            prop_assert!(c.frame_bytes(i) <= cap.max(t.frame_bytes(i).min(cap)));
+            prop_assert!(c.frame_bytes(i) <= t.frame_bytes(i));
+        }
+    }
+
+    #[test]
+    fn trace_binary_roundtrip(
+        slices in prop::collection::vec(0u32..1_000_000, 2..200),
+    ) {
+        prop_assume!(slices.len() % 2 == 0);
+        let t = Trace::from_slices(slices, 2, 24.0);
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        prop_assert_eq!(Trace::read_binary(&buf[..]).unwrap(), t);
+    }
+}

@@ -1,0 +1,133 @@
+//! The intraframe coder end to end (§2): synthesise scenes, code them
+//! with DCT + uniform quantisation + run-length + Huffman, decode,
+//! measure quality and watch the bandwidth respond to scene content.
+//!
+//! ```sh
+//! cargo run --release --example codec_demo
+//! ```
+
+use vbr::prelude::*;
+use vbr::video::psnr;
+
+fn main() {
+    let (w, h) = (128, 128);
+
+    // Three scene types of increasing complexity.
+    let scenes = [
+        ("placid dialogue", SceneSynthesizer::new(SceneSpec::placid(1))),
+        (
+            "medium action",
+            SceneSynthesizer::new(SceneSpec {
+                complexity: 0.5,
+                motion: 0.8,
+                brightness: 128.0,
+                seed: 2,
+            }),
+        ),
+        ("space battle", SceneSynthesizer::new(SceneSpec::action(3))),
+    ];
+
+    // Train one fixed-table coder on a mix of all scene types, like a
+    // real coder shipping fixed Huffman tables.
+    let mut training = Vec::new();
+    for (_, s) in &scenes {
+        for t in 0..2 {
+            training.push(s.frame(t, w, h));
+        }
+    }
+    let coder = IntraframeCoder::train(
+        CoderConfig { quant_step: 16.0, slices_per_frame: 8 },
+        &training,
+    );
+
+    println!("coder: 8x8 DCT, uniform quantiser (step 16), zig-zag RLE, Huffman");
+    println!("frame: {w}x{h} monochrome, 8 slices/frame\n");
+    println!(
+        "{:<18} {:>12} {:>12} {:>10} {:>10}",
+        "scene", "bytes/frame", "compression", "PSNR [dB]", "kb/s @24fps"
+    );
+
+    for (name, scene) in &scenes {
+        let mut bytes = 0u64;
+        let mut quality = 0.0;
+        let frames = 24;
+        for t in 0..frames {
+            let frame = scene.frame(t, w, h);
+            let coded = coder.code_frame(&frame);
+            bytes += coded.total_bytes() as u64;
+            let recon = coder.decode_frame(&coded, w, h);
+            quality += psnr(&frame, &recon);
+        }
+        let per_frame = bytes as f64 / frames as f64;
+        println!(
+            "{:<18} {:>12.0} {:>11.1}x {:>10.1} {:>10.0}",
+            name,
+            per_frame,
+            (w * h) as f64 / per_frame,
+            quality / frames as f64,
+            per_frame * 24.0 * 8.0 / 1e3
+        );
+    }
+
+    // Show the per-slice breakdown for one busy frame.
+    let frame = scenes[2].1.frame(0, w, h);
+    let coded = coder.code_frame(&frame);
+    println!("\nper-slice bytes of one 'space battle' frame: {:?}", coded.slice_bytes());
+
+    // Build a mini VBR trace by cutting between scenes, as a movie does.
+    let mut slice_bytes = Vec::new();
+    let cuts = [0usize, 1, 0, 2, 1, 2, 2, 0];
+    for (shot, &scene_idx) in cuts.iter().enumerate() {
+        for t in 0..12 {
+            let f = scenes[scene_idx].1.frame(shot * 12 + t, w, h);
+            slice_bytes.extend(coder.code_frame(&f).slice_bytes());
+        }
+    }
+    let trace = Trace::from_slices(slice_bytes, 8, 24.0);
+    let s = trace.summary_frame();
+    println!(
+        "\nmini-trace across {} shots: mean {:.0} B/frame, CoV {:.2}, peak/mean {:.2}",
+        cuts.len(),
+        s.mean,
+        s.coef_variation,
+        s.peak_to_mean
+    );
+    println!("scene cuts are what make intraframe VBR video bursty.");
+
+    // Interframe (predictive) coding: the paper's §1 contrast —
+    // "greater compression, burstiness and much stronger dependence on
+    // motion result from interframe coding".
+    println!("\n== interframe (I/P, GOP = 12) vs intraframe ==");
+    println!(
+        "{:<18} {:>14} {:>14} {:>12}",
+        "scene", "intra B/frame", "inter B/frame", "P/I ratio"
+    );
+    for (name, scene) in &scenes {
+        let mut inter = vbr::video::InterframeCoder::new(coder.clone(), 12);
+        let frames: Vec<Frame> = (0..24).map(|t| scene.frame(t, w, h)).collect();
+        let seq = inter.code_sequence(&frames);
+        let inter_avg =
+            seq.iter().map(|&(b, _)| b as f64).sum::<f64>() / seq.len() as f64;
+        let intra_avg = frames
+            .iter()
+            .map(|f| coder.code_frame(f).total_bytes() as f64)
+            .sum::<f64>()
+            / frames.len() as f64;
+        let i_bytes = seq[0].0 as f64;
+        let p_avg: f64 = seq
+            .iter()
+            .filter(|&&(_, k)| k == vbr::video::FrameKind::P)
+            .map(|&(b, _)| b as f64)
+            .sum::<f64>()
+            / seq.iter().filter(|&&(_, k)| k == vbr::video::FrameKind::P).count() as f64;
+        println!(
+            "{:<18} {:>14.0} {:>14.0} {:>12.2}",
+            name,
+            intra_avg,
+            inter_avg,
+            p_avg / i_bytes
+        );
+    }
+    println!("interframe compresses harder, and its rate swings with motion —");
+    println!("the burstier regime the paper attributes to frame-difference coding.");
+}

@@ -1,0 +1,75 @@
+//! The Fig 16 experiment in miniature: how close does the 4-parameter
+//! model come to the trace in an *engineering* test (required capacity at
+//! equal buffer and loss target), and how much does each ingredient —
+//! the Pareto tail and the long-range dependence — matter?
+//!
+//! ```sh
+//! cargo run --release --example model_vs_trace
+//! ```
+
+use vbr::prelude::*;
+
+fn main() {
+    let n_frames = 20_000;
+    let trace = generate_screenplay(&ScreenplayConfig::short(n_frames, 4));
+    let est = estimate_trace(
+        &trace,
+        &EstimateOptions { hurst_method: HurstMethod::VarianceTime, ..Default::default() },
+    );
+    println!(
+        "fitted parameters: mu={:.0} sigma={:.0} m_T={:.1} H={:.3}\n",
+        est.params.mu_gamma, est.params.sigma_gamma, est.params.tail_slope, est.params.hurst
+    );
+
+    let variants: Vec<(&str, Trace)> = vec![
+        ("trace itself", trace.clone()),
+        (
+            "full model (LRD + Gamma/Pareto)",
+            SourceModel::full(est.params).generate_trace(n_frames, 24.0, 30, 11),
+        ),
+        (
+            "fARIMA, Gaussian marginals",
+            SourceModel::gaussian_marginal(est.params).generate_trace(n_frames, 24.0, 30, 11),
+        ),
+        (
+            "i.i.d., Gamma/Pareto marginals",
+            SourceModel::iid_gamma_pareto(est.params).generate_trace(n_frames, 24.0, 30, 11),
+        ),
+        (
+            "AR(1) rho=0.9, Gamma/Pareto",
+            SourceModel::ar1_gamma_pareto(est.params, 0.9)
+                .generate_trace(n_frames, 24.0, 30, 11),
+        ),
+    ];
+
+    for n_sources in [1usize, 5] {
+        println!("== required capacity per source, N = {n_sources}, P_l = 0, T_max sweep ==");
+        println!(
+            "{:<34} {:>10} {:>10} {:>10}",
+            "source", "0.5 ms", "2 ms", "8 ms"
+        );
+        for (name, t) in &variants {
+            let sim = MuxSim::new(t, n_sources, 21);
+            let caps: Vec<f64> = [0.0005, 0.002, 0.008]
+                .iter()
+                .map(|&tm| {
+                    sim.required_capacity(tm, LossTarget::Zero, LossMetric::Overall, 20)
+                        / n_sources as f64
+                        * 8.0
+                        / 1e6
+                })
+                .collect();
+            println!(
+                "{:<34} {:>9.2}M {:>9.2}M {:>9.2}M",
+                name, caps[0], caps[1], caps[2]
+            );
+        }
+        println!();
+    }
+    println!("reading the table the way the paper reads Fig 16:");
+    println!(" - the full model tracks the trace best;");
+    println!(" - dropping the heavy tail (Gaussian) or the LRD (i.i.d./AR(1))");
+    println!("   underestimates the required capacity — SRD models are overly");
+    println!("   optimistic, which is the paper's central warning;");
+    println!(" - agreement improves as N grows and marginals Gaussianise.");
+}
