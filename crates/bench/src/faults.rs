@@ -1,0 +1,136 @@
+//! Fault injection for the fallible pipeline.
+//!
+//! Each [`Corruption`] mode mimics a realistic data defect — an encoder
+//! glitch emitting NaN, an overflowed counter reading as infinity, a
+//! sign-flipped run, a stuck (constant) sensor, a truncated capture —
+//! and [`FaultInjector`] applies it deterministically so the robustness
+//! suite can assert that every stage of the estimation → generation →
+//! queueing pipeline reports a typed error (or degrades gracefully)
+//! instead of panicking or silently emitting non-finite traffic.
+
+use vbr_stats::rng::Xoshiro256;
+
+/// A data defect to inject into an otherwise healthy series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Corruption {
+    /// One sample becomes NaN (arithmetic fault in the encoder).
+    NanSpike,
+    /// One sample becomes +∞ (overflowed byte counter).
+    InfSpike,
+    /// A contiguous run of samples is negated (sign corruption).
+    NegateRun,
+    /// The whole series collapses to its first value (stuck encoder —
+    /// zero variance defeats every estimator).
+    ZeroVarianceRun,
+    /// Only the first few samples survive (truncated capture).
+    Truncate,
+}
+
+impl Corruption {
+    /// Every corruption mode, for exhaustive sweeps.
+    pub const ALL: [Corruption; 5] = [
+        Corruption::NanSpike,
+        Corruption::InfSpike,
+        Corruption::NegateRun,
+        Corruption::ZeroVarianceRun,
+        Corruption::Truncate,
+    ];
+}
+
+/// Applies [`Corruption`] modes deterministically (seeded positions).
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    seed: u64,
+}
+
+impl FaultInjector {
+    /// Creates an injector; `seed` fixes every fault position.
+    pub fn new(seed: u64) -> Self {
+        FaultInjector { seed }
+    }
+
+    /// Returns a corrupted copy of `xs`. The input is never mutated, and
+    /// an empty input stays empty.
+    pub fn apply(&self, xs: &[f64], mode: Corruption) -> Vec<f64> {
+        let mut out = xs.to_vec();
+        if out.is_empty() {
+            return out;
+        }
+        let mut rng = Xoshiro256::seed_from_u64(self.seed ^ mode as u64);
+        let pick = |rng: &mut Xoshiro256, n: usize| rng.below(n as u64) as usize;
+        match mode {
+            Corruption::NanSpike => {
+                let i = pick(&mut rng, out.len());
+                out[i] = f64::NAN;
+            }
+            Corruption::InfSpike => {
+                let i = pick(&mut rng, out.len());
+                out[i] = f64::INFINITY;
+            }
+            Corruption::NegateRun => {
+                let run = (out.len() / 20).max(1);
+                let start = pick(&mut rng, out.len());
+                let end = (start + run).min(out.len());
+                for v in &mut out[start..end] {
+                    // Map zeros below zero too, so the run is detectably bad.
+                    *v = if *v == 0.0 { -1.0 } else { -*v };
+                }
+            }
+            Corruption::ZeroVarianceRun => {
+                let c = out[0];
+                out.iter_mut().for_each(|v| *v = c);
+            }
+            Corruption::Truncate => {
+                out.truncate(16.min(out.len()));
+            }
+        }
+        out
+    }
+
+    /// The position seed.
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corruptions_are_deterministic_and_nonempty() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).sin() + 2.0).collect();
+        let inj = FaultInjector::new(7);
+        // Compare bit patterns: NaN != NaN would defeat a value compare.
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        for mode in Corruption::ALL {
+            let a = inj.apply(&xs, mode);
+            let b = inj.apply(&xs, mode);
+            assert_eq!(bits(&a), bits(&b), "{mode:?} not deterministic");
+            assert_ne!(bits(&a), bits(&xs), "{mode:?} must actually corrupt");
+            assert!(!a.is_empty());
+        }
+        assert!(inj.apply(&[], Corruption::NanSpike).is_empty());
+    }
+
+    #[test]
+    fn each_mode_produces_its_signature_defect() {
+        let xs: Vec<f64> = (0..500).map(|i| (i as f64).cos() + 2.0).collect();
+        let inj = FaultInjector::new(3);
+        assert!(inj
+            .apply(&xs, Corruption::NanSpike)
+            .iter()
+            .any(|v| v.is_nan()));
+        assert!(inj
+            .apply(&xs, Corruption::InfSpike)
+            .iter()
+            .any(|v| v.is_infinite()));
+        assert!(inj
+            .apply(&xs, Corruption::NegateRun)
+            .iter()
+            .any(|&v| v < 0.0));
+        let flat = inj.apply(&xs, Corruption::ZeroVarianceRun);
+        assert!(flat.iter().all(|&v| v == flat[0]));
+        assert_eq!(inj.apply(&xs, Corruption::Truncate).len(), 16);
+    }
+}

@@ -10,6 +10,9 @@ use std::path::{Path, PathBuf};
 use vbr_video::{generate_screenplay, ScreenplayConfig, Trace};
 
 pub mod experiments;
+pub mod faults;
+
+pub use faults::{Corruption, FaultInjector};
 
 /// Execution context shared by every experiment.
 pub struct Ctx {

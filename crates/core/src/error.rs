@@ -1,0 +1,77 @@
+//! Typed errors for the model layer: parameter validation, estimation
+//! and generation failures, wrapping the upstream crates' error types so
+//! a failure anywhere in the pipeline surfaces with its original cause.
+
+use std::fmt;
+use vbr_fgn::FgnError;
+use vbr_lrd::LrdError;
+use vbr_stats::error::{DataError, NumericError};
+
+/// Why the model layer could not estimate, validate or generate.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A model parameter is outside its domain.
+    Params(NumericError),
+    /// The input series cannot support estimation.
+    Data(DataError),
+    /// Every Hurst estimator in the fallback chain failed.
+    Hurst(LrdError),
+    /// The Gaussian-stage generator failed.
+    Generator(FgnError),
+    /// Generation produced a non-finite frame size — a bug guard: the
+    /// fallible pipeline never silently emits non-finite traffic.
+    NonFiniteOutput {
+        /// Index of the first offending frame.
+        index: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::Params(e) => e.fmt(f),
+            ModelError::Data(e) => e.fmt(f),
+            ModelError::Hurst(e) => write!(f, "Hurst estimation failed: {e}"),
+            ModelError::Generator(e) => write!(f, "traffic generation failed: {e}"),
+            ModelError::NonFiniteOutput { index } => {
+                write!(f, "generated frame {index} is non-finite")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ModelError::Params(e) => Some(e),
+            ModelError::Data(e) => Some(e),
+            ModelError::Hurst(e) => Some(e),
+            ModelError::Generator(e) => Some(e),
+            ModelError::NonFiniteOutput { .. } => None,
+        }
+    }
+}
+
+impl From<NumericError> for ModelError {
+    fn from(e: NumericError) -> Self {
+        ModelError::Params(e)
+    }
+}
+
+impl From<DataError> for ModelError {
+    fn from(e: DataError) -> Self {
+        ModelError::Data(e)
+    }
+}
+
+impl From<LrdError> for ModelError {
+    fn from(e: LrdError) -> Self {
+        ModelError::Hurst(e)
+    }
+}
+
+impl From<FgnError> for ModelError {
+    fn from(e: FgnError) -> Self {
+        ModelError::Generator(e)
+    }
+}

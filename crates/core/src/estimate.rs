@@ -2,8 +2,13 @@
 //! for the Gamma body, a log-log CCDF regression for the Pareto tail
 //! slope, and the §3.2.3 estimator suite for H.
 
+use crate::error::ModelError;
 use crate::params::ModelParams;
-use vbr_lrd::{rs_analysis, variance_time, whittle_aggregated, RsOptions, VtOptions};
+use vbr_lrd::{
+    aggregate, robust_hurst, try_rs_analysis, try_variance_time, try_whittle, EstimatorKind,
+    LrdError, RsOptions, VtOptions,
+};
+use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant, NumericError};
 use vbr_stats::histogram::Ecdf;
 use vbr_stats::regression::fit_line;
 use vbr_video::Trace;
@@ -51,6 +56,10 @@ pub struct Estimate {
     pub tail_fit_r2: f64,
     /// Number of tail points used in the regression.
     pub tail_points: usize,
+    /// `None` when the requested [`HurstMethod`] produced the headline H;
+    /// `Some(kind)` when it failed and the [`vbr_lrd::robust_hurst`]
+    /// ensemble answered instead, recording which estimator did.
+    pub hurst_fallback: Option<EstimatorKind>,
 }
 
 /// Estimates the tail slope `m_T` from the log-log CCDF of the sample's
@@ -78,8 +87,56 @@ pub fn fit_tail_slope(xs: &[f64], tail_fraction: f64) -> (f64, f64, usize) {
 }
 
 /// Estimates all four parameters from a frame-level series.
+///
+/// Panics on invalid input; [`try_estimate_series`] is the fallible
+/// equivalent with an estimator fallback chain.
 pub fn estimate_series(series: &[f64], opts: &EstimateOptions) -> Estimate {
     assert!(series.len() >= 1000, "estimation needs a long series");
+    try_estimate_series(series, opts).unwrap_or_else(|e| panic!("estimate_series: {e}"))
+}
+
+/// Runs the requested estimator fallibly.
+fn try_hurst_method(series: &[f64], method: HurstMethod) -> Result<f64, LrdError> {
+    match method {
+        HurstMethod::VarianceTime => {
+            try_variance_time(series, &VtOptions { fit_min_m: 200, ..VtOptions::default() })
+                .map(|v| v.hurst)
+        }
+        HurstMethod::RsAnalysis => {
+            try_rs_analysis(series, &RsOptions::default()).map(|r| r.hurst)
+        }
+        HurstMethod::WhittleLog { aggregation } => {
+            let logged: Vec<f64> = series.iter().map(|&x| x.max(1e-9).ln()).collect();
+            // Walk the requested level down until the aggregated series is
+            // long enough for Whittle (≥ 128 points).
+            let m = aggregation.min(logged.len() / 128).max(1);
+            try_whittle(&aggregate(&logged, m)).map(|e| e.hurst)
+        }
+    }
+}
+
+/// Fallible [`estimate_series`]: rejects short, non-finite or constant
+/// series with typed errors, and when the requested [`HurstMethod`]
+/// fails it degrades to the [`vbr_lrd::robust_hurst`] ensemble instead
+/// of panicking, recording the answering estimator in
+/// [`Estimate::hurst_fallback`].
+pub fn try_estimate_series(
+    series: &[f64],
+    opts: &EstimateOptions,
+) -> Result<Estimate, ModelError> {
+    check_min_len(series, 1000)?;
+    check_all_finite(series)?;
+    check_non_constant(series)?;
+    if !(opts.tail_fraction > 0.0 && opts.tail_fraction < 0.5) {
+        return Err(NumericError::OutOfRange {
+            what: "tail_fraction",
+            value: opts.tail_fraction,
+            lo: 0.0,
+            hi: 0.5,
+        }
+        .into());
+    }
+
     let n = series.len() as f64;
     // μ_Γ, σ_Γ: "it is sufficiently accurate to take the sample mean and
     // standard deviation, because the heavy tail contains only 3% of the
@@ -89,30 +146,24 @@ pub fn estimate_series(series: &[f64], opts: &EstimateOptions) -> Estimate {
 
     let (tail_slope, r2, pts) = fit_tail_slope(series, opts.tail_fraction);
 
-    let hurst = match opts.hurst_method {
-        HurstMethod::VarianceTime => {
-            variance_time(series, &VtOptions { fit_min_m: 200, ..VtOptions::default() }).hurst
-        }
-        HurstMethod::RsAnalysis => rs_analysis(series, &RsOptions::default()).hurst,
-        HurstMethod::WhittleLog { aggregation } => {
-            let logged: Vec<f64> = series.iter().map(|&x| x.max(1e-9).ln()).collect();
-            // Walk the requested level down until the aggregated series is
-            // long enough for Whittle (≥ 128 points).
-            let m = aggregation.min(logged.len() / 128).max(1);
-            whittle_aggregated(&logged, &[m])
-                .first()
-                .map(|(_, e)| e.hurst)
-                .expect("series too short for Whittle estimation")
+    let (hurst, hurst_fallback) = match try_hurst_method(series, opts.hurst_method) {
+        Ok(h) => (h, None),
+        // Requested estimator failed: let the ensemble try every other
+        // angle before giving up.
+        Err(_) => {
+            let robust = robust_hurst(series)?;
+            (robust.hurst, Some(robust.by))
         }
     };
     // Clamp into the model's valid LRD range.
     let hurst = hurst.clamp(0.5001, 0.9999);
 
-    Estimate {
-        params: ModelParams::new(mean, sd, tail_slope, hurst),
+    Ok(Estimate {
+        params: ModelParams::try_new(mean, sd, tail_slope, hurst)?,
         tail_fit_r2: r2,
         tail_points: pts,
-    }
+        hurst_fallback,
+    })
 }
 
 /// Estimates from a [`Trace`] at frame granularity.
@@ -120,10 +171,18 @@ pub fn estimate_trace(trace: &Trace, opts: &EstimateOptions) -> Estimate {
     estimate_series(&trace.frame_series(), opts)
 }
 
+/// Fallible [`estimate_trace`].
+pub fn try_estimate_trace(
+    trace: &Trace,
+    opts: &EstimateOptions,
+) -> Result<Estimate, ModelError> {
+    try_estimate_series(&trace.frame_series(), opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use vbr_stats::dist::{ContinuousDist, GammaPareto, Pareto};
+    use vbr_stats::dist::{GammaPareto, Pareto};
     use vbr_stats::rng::Xoshiro256;
 
     #[test]
@@ -183,5 +242,57 @@ mod tests {
     #[should_panic(expected = "long series")]
     fn short_series_rejected() {
         estimate_series(&[1.0; 100], &EstimateOptions::default());
+    }
+
+    #[test]
+    fn try_estimate_rejects_corrupt_series_with_typed_errors() {
+        use crate::error::ModelError;
+        use vbr_stats::error::DataError;
+
+        let opts = EstimateOptions::default();
+        assert!(matches!(
+            try_estimate_series(&[1.0; 100], &opts),
+            Err(ModelError::Data(DataError::TooShort { .. }))
+        ));
+        let mut spiked = vec![100.0; 2000];
+        spiked[1234] = f64::NAN;
+        assert!(matches!(
+            try_estimate_series(&spiked, &opts),
+            Err(ModelError::Data(DataError::NonFiniteSample { index: 1234, .. }))
+        ));
+        assert!(matches!(
+            try_estimate_series(&[7.5; 2000], &opts),
+            Err(ModelError::Data(DataError::ZeroVariance))
+        ));
+    }
+
+    #[test]
+    fn failed_method_falls_back_to_ensemble() {
+        // 1 100 points: variance-time with fit_min_m = 200 has max block
+        // size n/10 = 110, so the fit grid is empty and the requested
+        // method fails — the ensemble must answer instead.
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        let xs: Vec<f64> = (0..1_100).map(|_| rng.standard_normal().exp() * 50.0).collect();
+        let est = try_estimate_series(
+            &xs,
+            &EstimateOptions {
+                hurst_method: HurstMethod::VarianceTime,
+                ..Default::default()
+            },
+        )
+        .expect("fallback should rescue the estimate");
+        assert!(est.hurst_fallback.is_some(), "expected ensemble fallback");
+        assert!(est.params.hurst > 0.5 && est.params.hurst < 1.0);
+    }
+
+    #[test]
+    fn healthy_series_reports_no_fallback() {
+        let trace = vbr_video::generate_screenplay(
+            &vbr_video::ScreenplayConfig::short(40_000, 6),
+        );
+        let est = try_estimate_trace(&trace, &EstimateOptions::default()).unwrap();
+        assert!(est.hurst_fallback.is_none());
+        let direct = estimate_trace(&trace, &EstimateOptions::default());
+        assert_eq!(est.params, direct.params);
     }
 }

@@ -1,9 +1,11 @@
 //! Synthetic traffic generation (§4): the full model plus the ablation
 //! variants compared in Fig 16 and classic SRD baselines.
 
+use crate::error::ModelError;
 use crate::params::ModelParams;
 use vbr_fgn::{DaviesHarte, Hosking, MarginalTransform, TableMode};
 use vbr_stats::dist::{ContinuousDist, Gamma, GammaPareto, Normal};
+use vbr_stats::error::{check_in_range, check_positive_param};
 use vbr_stats::rng::Xoshiro256;
 use vbr_video::Trace;
 
@@ -105,11 +107,48 @@ impl SourceModel {
         SourceModel { correlation: CorrelationVariant::Ar1 { rho }, ..Self::full(params) }
     }
 
+    /// Fallible [`ar1_gamma_pareto`](Self::ar1_gamma_pareto).
+    pub fn try_ar1_gamma_pareto(params: ModelParams, rho: f64) -> Result<Self, ModelError> {
+        params.validate()?;
+        check_in_range("AR(1) rho", rho, 0.0, 1.0)?;
+        Ok(SourceModel { correlation: CorrelationVariant::Ar1 { rho }, ..Self::full(params) })
+    }
+
     /// The §4 future-work augmentation: LRD with an additional AR(1)
     /// short-range stage, Gamma/Pareto marginal.
     pub fn lrd_ar1_gamma_pareto(params: ModelParams, rho: f64) -> Self {
         assert!((0.0..1.0).contains(&rho), "AR(1) rho must be in [0, 1)");
         SourceModel { correlation: CorrelationVariant::LrdAr1 { rho }, ..Self::full(params) }
+    }
+
+    /// Fallible [`lrd_ar1_gamma_pareto`](Self::lrd_ar1_gamma_pareto).
+    pub fn try_lrd_ar1_gamma_pareto(
+        params: ModelParams,
+        rho: f64,
+    ) -> Result<Self, ModelError> {
+        params.validate()?;
+        check_in_range("AR(1) rho", rho, 0.0, 1.0)?;
+        Ok(SourceModel {
+            correlation: CorrelationVariant::LrdAr1 { rho },
+            ..Self::full(params)
+        })
+    }
+
+    /// Checks that the model's parameters (including any correlation-stage
+    /// coefficient) are inside their domains — the fields are public, so a
+    /// model can drift invalid after construction.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        self.params.validate()?;
+        match self.correlation {
+            CorrelationVariant::Ar1 { rho } | CorrelationVariant::LrdAr1 { rho } => {
+                check_in_range("AR(1) rho", rho, 0.0, 1.0)?;
+            }
+            CorrelationVariant::Lrd(_) | CorrelationVariant::Iid => {}
+        }
+        if let Some(shape) = self.slice_weight_shape {
+            check_positive_param("slice_weight_shape", shape)?;
+        }
+        Ok(())
     }
 
     /// Generates the Gaussian-domain driving process (zero mean, unit
@@ -146,7 +185,30 @@ impl SourceModel {
     }
 
     /// Generates `n` frame sizes (bytes per frame interval, as `f64`).
+    ///
+    /// Panics on an invalid model;
+    /// [`try_generate_frames`](Self::try_generate_frames) is the fallible
+    /// equivalent.
     pub fn generate_frames(&self, n: usize, seed: u64) -> Vec<f64> {
+        self.try_generate_frames(n, seed)
+            .unwrap_or_else(|e| panic!("generate_frames: {e}"))
+    }
+
+    /// Fallible [`generate_frames`](Self::generate_frames): validates the
+    /// model first and guarantees every emitted frame size is finite —
+    /// corrupt output is reported as [`ModelError::NonFiniteOutput`], never
+    /// silently fed downstream.
+    pub fn try_generate_frames(&self, n: usize, seed: u64) -> Result<Vec<f64>, ModelError> {
+        self.validate()?;
+        let frames = self.frames_unchecked(n, seed);
+        if let Some(index) = frames.iter().position(|v| !v.is_finite()) {
+            return Err(ModelError::NonFiniteOutput { index });
+        }
+        Ok(frames)
+    }
+
+    /// The raw generation pipeline, assuming a validated model.
+    fn frames_unchecked(&self, n: usize, seed: u64) -> Vec<f64> {
         let gauss = self.gaussian_stage(n, seed);
         match self.marginal {
             MarginalVariant::GammaPareto => {
@@ -167,6 +229,10 @@ impl SourceModel {
     }
 
     /// Generates a [`Trace`] with the given geometry.
+    ///
+    /// Panics on an invalid model or geometry;
+    /// [`try_generate_trace`](Self::try_generate_trace) is the fallible
+    /// equivalent.
     pub fn generate_trace(
         &self,
         n_frames: usize,
@@ -174,7 +240,27 @@ impl SourceModel {
         slices_per_frame: usize,
         seed: u64,
     ) -> Trace {
-        let frames = self.generate_frames(n_frames, seed);
+        self.try_generate_trace(n_frames, fps, slices_per_frame, seed)
+            .unwrap_or_else(|e| panic!("generate_trace: {e}"))
+    }
+
+    /// Fallible [`generate_trace`](Self::generate_trace).
+    pub fn try_generate_trace(
+        &self,
+        n_frames: usize,
+        fps: f64,
+        slices_per_frame: usize,
+        seed: u64,
+    ) -> Result<Trace, ModelError> {
+        check_positive_param("fps", fps)?;
+        if slices_per_frame == 0 {
+            return Err(vbr_stats::error::NumericError::NonPositive {
+                what: "slices_per_frame",
+                value: 0.0,
+            }
+            .into());
+        }
+        let frames = self.try_generate_frames(n_frames, seed)?;
         let spf = slices_per_frame;
         let mut slices = Vec::with_capacity(n_frames * spf);
         match self.slice_weight_shape {
@@ -212,7 +298,7 @@ impl SourceModel {
                 }
             }
         }
-        Trace::from_slices(slices, spf, fps)
+        Ok(Trace::from_slices(slices, spf, fps))
     }
 }
 
@@ -363,5 +449,46 @@ mod tests {
         let m = SourceModel::full(params());
         assert_eq!(m.generate_frames(1000, 9), m.generate_frames(1000, 9));
         assert_ne!(m.generate_frames(1000, 9), m.generate_frames(1000, 10));
+    }
+
+    #[test]
+    fn try_generate_rejects_drifted_invalid_models() {
+        use crate::error::ModelError;
+        use vbr_stats::error::NumericError;
+
+        let mut m = SourceModel::full(params());
+        m.params.hurst = f64::NAN;
+        assert!(matches!(
+            m.try_generate_frames(100, 1),
+            Err(ModelError::Params(NumericError::NonFinite { what: "hurst", .. }))
+        ));
+
+        let mut m = SourceModel::full(params());
+        m.params.mu_gamma = -5.0;
+        assert!(matches!(
+            m.try_generate_frames(100, 1),
+            Err(ModelError::Params(NumericError::NonPositive { what: "mu_gamma", .. }))
+        ));
+
+        assert!(SourceModel::try_ar1_gamma_pareto(params(), 1.5).is_err());
+        assert!(SourceModel::try_lrd_ar1_gamma_pareto(params(), f64::NAN).is_err());
+        assert!(SourceModel::try_ar1_gamma_pareto(params(), 0.9).is_ok());
+    }
+
+    #[test]
+    fn try_generate_trace_rejects_bad_geometry() {
+        let m = SourceModel::full(params());
+        assert!(m.try_generate_trace(10, 0.0, 30, 1).is_err());
+        assert!(m.try_generate_trace(10, 24.0, 0, 1).is_err());
+        let t = m.try_generate_trace(10, 24.0, 30, 1).unwrap();
+        assert_eq!(t.frames(), 10);
+    }
+
+    #[test]
+    fn try_generate_matches_panicking_path_and_is_finite() {
+        let m = SourceModel::full(params());
+        let a = m.try_generate_frames(2_000, 9).unwrap();
+        assert_eq!(a, m.generate_frames(2_000, 9));
+        assert!(a.iter().all(|v| v.is_finite()));
     }
 }

@@ -22,14 +22,17 @@
 #![warn(missing_docs)]
 
 pub mod baselines;
+pub mod error;
 pub mod estimate;
 pub mod generate;
 pub mod params;
 pub mod validate;
 
 pub use baselines::{Dar1, MiniSources};
+pub use error::ModelError;
 pub use estimate::{
-    estimate_series, estimate_trace, fit_tail_slope, Estimate, EstimateOptions, HurstMethod,
+    estimate_series, estimate_trace, fit_tail_slope, try_estimate_series, try_estimate_trace,
+    Estimate, EstimateOptions, HurstMethod,
 };
 pub use generate::{CorrelationVariant, LrdEngine, MarginalVariant, SourceModel};
 pub use params::ModelParams;

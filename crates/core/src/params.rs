@@ -4,6 +4,7 @@
 //! correlation)."
 
 use vbr_stats::dist::GammaPareto;
+use vbr_stats::error::{check_in_range, check_positive_param, NumericError};
 
 /// The complete parameter set of the VBR video source model.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -20,16 +21,33 @@ pub struct ModelParams {
 }
 
 impl ModelParams {
-    /// Creates a parameter set, validating every range.
+    /// Creates a parameter set, validating every range. Panics on invalid
+    /// input; [`try_new`](Self::try_new) is the fallible equivalent.
     pub fn new(mu_gamma: f64, sigma_gamma: f64, tail_slope: f64, hurst: f64) -> Self {
-        assert!(mu_gamma > 0.0, "mu_gamma must be positive, got {mu_gamma}");
-        assert!(sigma_gamma > 0.0, "sigma_gamma must be positive, got {sigma_gamma}");
-        assert!(tail_slope > 0.0, "tail_slope must be positive, got {tail_slope}");
-        assert!(
-            (0.5..1.0).contains(&hurst),
-            "hurst must be in [0.5, 1), got {hurst}"
-        );
-        ModelParams { mu_gamma, sigma_gamma, tail_slope, hurst }
+        Self::try_new(mu_gamma, sigma_gamma, tail_slope, hurst)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`new`](Self::new): rejects non-positive or non-finite
+    /// marginal parameters and `H ∉ [0.5, 1)` with typed errors.
+    pub fn try_new(
+        mu_gamma: f64,
+        sigma_gamma: f64,
+        tail_slope: f64,
+        hurst: f64,
+    ) -> Result<Self, NumericError> {
+        let params = ModelParams { mu_gamma, sigma_gamma, tail_slope, hurst };
+        params.validate()?;
+        Ok(params)
+    }
+
+    /// Checks every parameter range, returning the first violation.
+    pub fn validate(&self) -> Result<(), NumericError> {
+        check_positive_param("mu_gamma", self.mu_gamma)?;
+        check_positive_param("sigma_gamma", self.sigma_gamma)?;
+        check_positive_param("tail_slope", self.tail_slope)?;
+        check_in_range("hurst", self.hurst, 0.5, 1.0)?;
+        Ok(())
     }
 
     /// The parameters the paper reports for the Star Wars trace:

@@ -1,7 +1,13 @@
-//! Property-based tests for the source model.
+//! Property-based tests for the source model, including adversarial
+//! inputs: corrupt series must come back as typed errors, never panics.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use proptest::prelude::*;
-use vbr_model::{Dar1, ModelParams, SourceModel};
+use vbr_model::{
+    try_estimate_series, Dar1, EstimateOptions, ModelError, ModelParams, SourceModel,
+};
+use vbr_stats::error::DataError;
 
 fn params_strategy() -> impl Strategy<Value = ModelParams> {
     (
@@ -86,5 +92,61 @@ proptest! {
             p.mu_gamma
         );
         prop_assert!(xs.iter().all(|&x| x >= 0.0));
+    }
+
+    // --- Adversarial inputs: typed Err, never a panic -------------------
+
+    #[test]
+    fn short_series_is_typed_error_not_panic(
+        xs in prop::collection::vec(0.1f64..1e6, 1..999),
+    ) {
+        let out = catch_unwind(AssertUnwindSafe(|| {
+            try_estimate_series(&xs, &EstimateOptions::default())
+        }));
+        prop_assert!(out.is_ok(), "try_estimate_series panicked on a short series");
+        let too_short =
+            matches!(out.unwrap(), Err(ModelError::Data(DataError::TooShort { .. })));
+        prop_assert!(too_short, "expected a TooShort error");
+    }
+
+    #[test]
+    fn constant_series_is_typed_error_not_panic(
+        v in 0.1f64..1e6,
+        n in 1_000usize..3_000,
+    ) {
+        let xs = vec![v; n];
+        prop_assert!(matches!(
+            try_estimate_series(&xs, &EstimateOptions::default()),
+            Err(ModelError::Data(DataError::ZeroVariance))
+        ));
+    }
+
+    #[test]
+    fn nan_spiked_series_is_typed_error_not_panic(
+        seed in 0u64..1000,
+        frac in 0.0f64..1.0,
+        spike_inf in 0usize..2,
+    ) {
+        let mut xs = SourceModel::full(ModelParams::paper_frame_defaults())
+            .generate_frames(2_000, seed);
+        let idx = ((xs.len() - 1) as f64 * frac) as usize;
+        xs[idx] = if spike_inf == 1 { f64::INFINITY } else { f64::NAN };
+        match try_estimate_series(&xs, &EstimateOptions::default()) {
+            Err(ModelError::Data(DataError::NonFiniteSample { index, .. })) => {
+                prop_assert_eq!(index, idx);
+            }
+            other => prop_assert!(false, "expected NonFiniteSample, got {:?}", other),
+        }
+    }
+
+    #[test]
+    fn try_new_agrees_with_domain_predicate(
+        mu in -1e3f64..1e6,
+        sigma in -1e3f64..1e6,
+        slope in -5.0f64..20.0,
+        h in -0.5f64..1.5,
+    ) {
+        let valid = mu > 0.0 && sigma > 0.0 && slope > 0.0 && (0.5..1.0).contains(&h);
+        prop_assert_eq!(ModelParams::try_new(mu, sigma, slope, h).is_ok(), valid);
     }
 }

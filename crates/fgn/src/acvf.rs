@@ -98,8 +98,8 @@ mod tests {
             let n = 100usize;
             let g = fgn_acvf(h, n);
             let mut var = n as f64 * g[0];
-            for k in 1..n {
-                var += 2.0 * (n - k) as f64 * g[k];
+            for (k, &gk) in g.iter().enumerate().skip(1) {
+                var += 2.0 * (n - k) as f64 * gk;
             }
             let want = (n as f64).powf(2.0 * h);
             assert!((var - want).abs() < 1e-6 * want, "H={h}: {var} vs {want}");

@@ -8,8 +8,52 @@
 //! covariance.
 
 use crate::acvf::fgn_acvf;
+use crate::error::FgnError;
 use vbr_fft::{fft_pow2_in_place, next_pow2, Complex, Direction};
 use vbr_stats::rng::Xoshiro256;
+
+/// Relative tolerance below which a negative circulant eigenvalue is
+/// attributed to FFT round-off and clamped to zero; anything more
+/// negative means the embedding genuinely is not PSD.
+const PSD_REL_TOL: f64 = 1e-9;
+
+/// Eigenvalues of the circulant embedding of the autocovariances
+/// `gamma[0..=half]` (first row `γ_0 … γ_half γ_{half−1} … γ_1`).
+///
+/// `gamma.len() − 1` must be half of a power of two (the radix-2 FFT
+/// constraint); eigenvalues within round-off of zero are clamped, and a
+/// genuinely negative spectrum is reported as [`FgnError::NonPsdEmbedding`].
+pub fn circulant_spectrum(gamma: &[f64]) -> Result<Vec<f64>, FgnError> {
+    let half = gamma.len().saturating_sub(1);
+    let m = 2 * half;
+    if half == 0 || m != next_pow2(m) {
+        return Err(vbr_stats::error::NumericError::OutOfRange {
+            what: "circulant acvf length (must be 2^k + 1)",
+            value: gamma.len() as f64,
+            lo: 2.0,
+            hi: f64::INFINITY,
+        }
+        .into());
+    }
+
+    let mut row = Vec::with_capacity(m);
+    row.extend_from_slice(gamma);
+    for k in (1..half).rev() {
+        row.push(gamma[k]);
+    }
+    debug_assert_eq!(row.len(), m);
+
+    let mut eig: Vec<Complex> = row.into_iter().map(Complex::from_re).collect();
+    fft_pow2_in_place(&mut eig, Direction::Forward);
+
+    let max_eig = eig.iter().map(|z| z.re).fold(0.0f64, f64::max);
+    let tol = PSD_REL_TOL * max_eig.max(f64::MIN_POSITIVE);
+    let min_eig = eig.iter().map(|z| z.re).fold(f64::INFINITY, f64::min);
+    if min_eig < -tol {
+        return Err(FgnError::NonPsdEmbedding { min_eigenvalue: min_eig, n: half + 1 });
+    }
+    Ok(eig.into_iter().map(|z| z.re.max(0.0)).collect())
+}
 
 /// Exact fGn generator via circulant embedding.
 #[derive(Debug, Clone)]
@@ -30,6 +74,18 @@ impl DaviesHarte {
         DaviesHarte { hurst, variance }
     }
 
+    /// Fallible [`new`](Self::new): rejects `H ∉ (0, 1)`, non-positive
+    /// variance and NaN/infinite values with typed errors.
+    pub fn try_new(hurst: f64, variance: f64) -> Result<Self, FgnError> {
+        if !(hurst > 0.0 && hurst < 1.0) {
+            return Err(FgnError::InvalidHurst { hurst, lo: 0.0, hi: 1.0 });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(FgnError::InvalidVariance { variance });
+        }
+        Ok(DaviesHarte { hurst, variance })
+    }
+
     /// The Hurst parameter.
     pub fn hurst(&self) -> f64 {
         self.hurst
@@ -43,53 +99,87 @@ impl DaviesHarte {
 
     /// Like [`generate`](Self::generate) with a caller-owned RNG.
     pub fn generate_with(&self, n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
+        // The fGn embedding is provably nonnegative-definite, so the only
+        // possible failure is FFT round-off beyond the clamp tolerance.
+        self.try_generate_with(n, rng)
+            .unwrap_or_else(|e| panic!("Davies-Harte generation failed: {e}"))
+    }
+
+    /// Fallible [`generate_with`](Self::generate_with): reports a
+    /// genuinely negative circulant spectrum as
+    /// [`FgnError::NonPsdEmbedding`] instead of silently clamping it
+    /// (round-off-sized negatives are still clamped, so valid inputs
+    /// produce bit-identical output to the panicking path).
+    pub fn try_generate_with(
+        &self,
+        n: usize,
+        rng: &mut Xoshiro256,
+    ) -> Result<Vec<f64>, FgnError> {
         if n == 0 {
-            return Vec::new();
+            return Ok(Vec::new());
         }
         if n == 1 {
-            return vec![rng.standard_normal() * self.variance.sqrt()];
+            return Ok(vec![rng.standard_normal() * self.variance.sqrt()]);
         }
 
         // Embed in a circulant of even size m ≥ 2(n−1), power of two for
         // the radix-2 kernel.
         let m = next_pow2(2 * (n - 1)).max(2);
-        let half = m / 2;
-        let gamma = fgn_acvf(self.hurst, half);
-
-        // First row of the circulant: γ_0, γ_1, …, γ_{m/2}, γ_{m/2−1}, …, γ_1.
-        let mut row = Vec::with_capacity(m);
-        row.extend_from_slice(&gamma);
-        for k in (1..half).rev() {
-            row.push(gamma[k]);
-        }
-        debug_assert_eq!(row.len(), m);
-
-        // Eigenvalues of the circulant = FFT of the first row.
-        let mut eig: Vec<Complex> = row.into_iter().map(Complex::from_re).collect();
-        fft_pow2_in_place(&mut eig, Direction::Forward);
-
-        // For fGn the embedding is provably nonnegative-definite; clamp
-        // any numerically-negative eigenvalue at 0.
-        let lambda: Vec<f64> = eig.iter().map(|z| z.re.max(0.0)).collect();
-
-        // Synthesise W with E|W_k|² = λ_k/m and Hermitian symmetry so that
-        // the FFT comes out real with the target covariance.
-        let mut w = vec![Complex::ZERO; m];
-        let mf = m as f64;
-        w[0] = Complex::from_re((lambda[0] / mf).sqrt() * rng.standard_normal());
-        w[half] = Complex::from_re((lambda[half] / mf).sqrt() * rng.standard_normal());
-        for k in 1..half {
-            let scale = (lambda[k] / (2.0 * mf)).sqrt();
-            let re = scale * rng.standard_normal();
-            let im = scale * rng.standard_normal();
-            w[k] = Complex::new(re, im);
-            w[m - k] = Complex::new(re, -im);
-        }
-
-        fft_pow2_in_place(&mut w, Direction::Forward);
-        let sd = self.variance.sqrt();
-        w.into_iter().take(n).map(|z| z.re * sd).collect()
+        let gamma = fgn_acvf(self.hurst, m / 2);
+        Ok(synthesise_from_spectrum(&circulant_spectrum(&gamma)?, n, self.variance.sqrt(), rng))
     }
+
+    /// Generates `n` points of a zero-mean Gaussian series with the
+    /// arbitrary stationary autocovariance `gamma[0..=half]` (lag 0 first),
+    /// where `gamma.len() − 1` must be half of a power of two and
+    /// `n ≤ gamma.len()`. This is the raw circulant-embedding engine: it
+    /// fails with [`FgnError::NonPsdEmbedding`] when the requested
+    /// covariance cannot be embedded — the failure mode the robust
+    /// generator falls back from.
+    pub fn try_generate_from_acvf(
+        gamma: &[f64],
+        n: usize,
+        rng: &mut Xoshiro256,
+    ) -> Result<Vec<f64>, FgnError> {
+        if n > gamma.len() {
+            return Err(vbr_stats::error::NumericError::OutOfRange {
+                what: "requested length (exceeds provided acvf lags)",
+                value: n as f64,
+                lo: 0.0,
+                hi: gamma.len() as f64,
+            }
+            .into());
+        }
+        Ok(synthesise_from_spectrum(&circulant_spectrum(gamma)?, n, 1.0, rng))
+    }
+}
+
+/// Draws a Gaussian vector whose circulant covariance has eigenvalues
+/// `lambda`, returning the first `n` points scaled by `sd`.
+fn synthesise_from_spectrum(
+    lambda: &[f64],
+    n: usize,
+    sd: f64,
+    rng: &mut Xoshiro256,
+) -> Vec<f64> {
+    let m = lambda.len();
+    let half = m / 2;
+    // Synthesise W with E|W_k|² = λ_k/m and Hermitian symmetry so that
+    // the FFT comes out real with the target covariance.
+    let mut w = vec![Complex::ZERO; m];
+    let mf = m as f64;
+    w[0] = Complex::from_re((lambda[0] / mf).sqrt() * rng.standard_normal());
+    w[half] = Complex::from_re((lambda[half] / mf).sqrt() * rng.standard_normal());
+    for k in 1..half {
+        let scale = (lambda[k] / (2.0 * mf)).sqrt();
+        let re = scale * rng.standard_normal();
+        let im = scale * rng.standard_normal();
+        w[k] = Complex::new(re, im);
+        w[m - k] = Complex::new(re, -im);
+    }
+
+    fft_pow2_in_place(&mut w, Direction::Forward);
+    w.into_iter().take(n).map(|z| z.re * sd).collect()
 }
 
 /// Fractional Brownian motion path: the cumulative sum of fGn,

@@ -1,0 +1,68 @@
+//! Typed errors for the LRD sample-path generators.
+
+use std::fmt;
+use vbr_stats::error::NumericError;
+
+/// Why a generator could not be built or could not produce a path.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FgnError {
+    /// Hurst parameter outside the generator's domain.
+    InvalidHurst {
+        /// Offending value.
+        hurst: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// Marginal variance not strictly positive (or not finite).
+    InvalidVariance {
+        /// Offending value.
+        variance: f64,
+    },
+    /// The circulant embedding of the requested autocovariance has a
+    /// genuinely negative eigenvalue: the spectrum is not positive
+    /// semi-definite and Davies–Harte cannot synthesise it exactly.
+    NonPsdEmbedding {
+        /// The most negative eigenvalue found.
+        min_eigenvalue: f64,
+        /// Requested series length.
+        n: usize,
+    },
+    /// A parameter failure from the shared validators.
+    Numeric(NumericError),
+}
+
+impl fmt::Display for FgnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            FgnError::InvalidHurst { hurst, lo, hi } => {
+                write!(f, "Hurst parameter must be in [{lo}, {hi}), got {hurst}")
+            }
+            FgnError::InvalidVariance { variance } => {
+                write!(f, "variance must be positive, got {variance}")
+            }
+            FgnError::NonPsdEmbedding { min_eigenvalue, n } => write!(
+                f,
+                "circulant embedding for n = {n} is not positive semi-definite \
+                 (min eigenvalue {min_eigenvalue:e}); use an exact O(n²) generator"
+            ),
+            FgnError::Numeric(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for FgnError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            FgnError::Numeric(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for FgnError {
+    fn from(e: NumericError) -> Self {
+        FgnError::Numeric(e)
+    }
+}

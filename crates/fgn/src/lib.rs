@@ -28,11 +28,15 @@
 pub mod acvf;
 pub mod arma;
 pub mod davies_harte;
+pub mod error;
 pub mod hosking;
 pub mod marginal;
+pub mod robust;
 
 pub use acvf::{farima_acf, fgn_acvf, hurst_to_d};
 pub use arma::{arma_noise, yule_walker, ArmaFilter};
-pub use davies_harte::{fbm_path, DaviesHarte};
+pub use davies_harte::{circulant_spectrum, fbm_path, DaviesHarte};
+pub use error::FgnError;
 pub use hosking::Hosking;
 pub use marginal::{MarginalTransform, TableMode};
+pub use robust::{FgnEngine, RobustFgn, RobustFgnResult};

@@ -23,8 +23,8 @@ proptest! {
         // Var(Σ X_i) = n γ0 + 2 Σ (n−k) γk must be n^{2H} ≥ 0.
         let g = fgn_acvf(h, n);
         let mut var = n as f64 * g[0];
-        for k in 1..n {
-            var += 2.0 * (n - k) as f64 * g[k];
+        for (k, &gk) in g.iter().enumerate().skip(1) {
+            var += 2.0 * (n - k) as f64 * gk;
         }
         let want = (n as f64).powf(2.0 * h);
         prop_assert!((var - want).abs() < 1e-6 * want.max(1.0));

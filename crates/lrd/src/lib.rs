@@ -20,22 +20,28 @@
 #![warn(missing_docs)]
 
 pub mod aggregate;
+pub mod error;
 pub mod local_whittle;
 pub mod periodogram_h;
 pub mod report;
+pub mod robust;
 pub mod rs;
 pub mod variance_time;
 pub mod wavelet;
 pub mod whittle;
 
 pub use aggregate::{aggregate, log_spaced_blocks};
-pub use local_whittle::{local_whittle, LocalWhittleEstimate};
+pub use error::LrdError;
+pub use local_whittle::{local_whittle, try_local_whittle, LocalWhittleEstimate};
 pub use periodogram_h::{periodogram_h, PeriodogramH};
 pub use report::{hurst_report, HurstReport, ReportOptions};
-pub use rs::{rs_aggregated, rs_analysis, rs_statistic, rs_varied, RsAnalysis, RsOptions};
-pub use variance_time::{variance_time, VarianceTime, VtOptions};
+pub use robust::{robust_hurst, robust_hurst_with, EstimatorKind, RobustHurst, RobustOptions};
+pub use rs::{
+    rs_aggregated, rs_analysis, rs_statistic, rs_varied, try_rs_analysis, RsAnalysis, RsOptions,
+};
+pub use variance_time::{try_variance_time, variance_time, VarianceTime, VtOptions};
 pub use wavelet::{logscale_diagram, wavelet_hurst, LogscaleDiagram, WaveletEstimate};
 pub use whittle::{
-    whittle, whittle_aggregated, whittle_aggregated_with, whittle_log, whittle_with,
-    SpectralModel, WhittleEstimate,
+    try_whittle, try_whittle_log, try_whittle_with, whittle, whittle_aggregated,
+    whittle_aggregated_with, whittle_log, whittle_with, SpectralModel, WhittleEstimate,
 };

@@ -4,6 +4,8 @@
 //! `f(λ) ~ G λ^{1−2H}` as `λ → 0` is assumed, so it is immune to the
 //! fARIMA-vs-fGn misspecification the full Whittle can suffer.
 
+use crate::error::LrdError;
+use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant, NumericError};
 use vbr_stats::periodogram::Periodogram;
 
 /// A local Whittle estimate.
@@ -37,6 +39,38 @@ fn objective(freqs: &[f64], power: &[f64], h: f64) -> f64 {
 pub fn local_whittle(xs: &[f64], m: Option<usize>) -> LocalWhittleEstimate {
     let n = xs.len();
     assert!(n >= 256, "local Whittle needs a longer series, got {n}");
+    // Legacy behaviour: a boundary-stuck optimum returns the endpoint
+    // estimate rather than erroring.
+    match local_whittle_core(xs, m) {
+        Ok((est, _)) => est,
+        Err(e) => panic!("local_whittle: {e}"),
+    }
+}
+
+/// Fallible [`local_whittle`]: rejects short, non-finite or constant
+/// series and reports a boundary-stuck optimisation instead of returning
+/// the untrustworthy endpoint value.
+pub fn try_local_whittle(
+    xs: &[f64],
+    m: Option<usize>,
+) -> Result<LocalWhittleEstimate, LrdError> {
+    let (est, boundary) = local_whittle_core(xs, m)?;
+    if boundary {
+        return Err(NumericError::NotConverged { what: "local Whittle optimisation" }.into());
+    }
+    Ok(est)
+}
+
+/// Shared search: input checks are typed errors; a boundary-stuck optimum
+/// is a flag so the panicking wrapper keeps the legacy endpoint value.
+fn local_whittle_core(
+    xs: &[f64],
+    m: Option<usize>,
+) -> Result<(LocalWhittleEstimate, bool), LrdError> {
+    let n = xs.len();
+    check_min_len(xs, 256)?;
+    check_all_finite(xs)?;
+    check_non_constant(xs)?;
     let pg = Periodogram::compute(xs);
     let m = m
         .unwrap_or_else(|| (n as f64).powf(0.65) as usize)
@@ -69,11 +103,22 @@ pub fn local_whittle(xs: &[f64], m: Option<usize>) -> LocalWhittleEstimate {
             break;
         }
     }
-    LocalWhittleEstimate {
-        hurst: 0.5 * (a + b),
-        std_err: 0.5 / (m as f64).sqrt(),
-        m,
+    let hurst = 0.5 * (a + b);
+    if !hurst.is_finite() {
+        return Err(NumericError::NotConverged { what: "local Whittle optimisation" }.into());
     }
+    // The search interval is (0.01, 0.999); an optimum stuck on either
+    // end is a domain violation, not an estimate — flagged for the
+    // fallible path.
+    let boundary = hurst <= 0.01 + 1e-4 || hurst >= 0.999 - 1e-4;
+    Ok((
+        LocalWhittleEstimate {
+            hurst,
+            std_err: 0.5 / (m as f64).sqrt(),
+            m,
+        },
+        boundary,
+    ))
 }
 
 #[cfg(test)]

@@ -6,6 +6,8 @@
 //! read `H` off the asymptotic slope by least squares.
 
 use crate::aggregate::{aggregate, log_spaced_blocks};
+use crate::error::LrdError;
+use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant};
 use vbr_stats::regression::{fit_line, LineFit};
 
 /// The rescaled adjusted range `R(n)/S(n)` of one window of observations.
@@ -78,12 +80,25 @@ pub struct RsAnalysis {
 pub fn rs_analysis(xs: &[f64], opts: &RsOptions) -> RsAnalysis {
     let n = xs.len();
     assert!(n >= 4 * opts.min_lag, "series too short for R/S analysis");
+    try_rs_analysis(xs, opts).unwrap_or_else(|e| panic!("rs_analysis: {e}"))
+}
+
+/// Fallible [`rs_analysis`]: rejects short, non-finite or constant input
+/// and degenerate lag grids instead of panicking.
+pub fn try_rs_analysis(xs: &[f64], opts: &RsOptions) -> Result<RsAnalysis, LrdError> {
+    let n = xs.len();
+    check_min_len(xs, 4 * opts.min_lag.max(1))?;
+    check_all_finite(xs)?;
+    check_non_constant(xs)?;
+    // `max_lag` defaults to n/2 so at least two disjoint windows fit.
     let max_lag = opts.max_lag.unwrap_or(n / 2).min(n);
     let grid: Vec<usize> = log_spaced_blocks(max_lag, opts.points_per_decade)
         .into_iter()
         .filter(|&m| m >= opts.min_lag)
         .collect();
-    assert!(grid.len() >= 3, "lag grid too small");
+    if grid.len() < 3 {
+        return Err(LrdError::GridTooSmall { got: grid.len(), needed: 3 });
+    }
 
     let mut points = Vec::new();
     let mut fit_x = Vec::new();
@@ -109,13 +124,11 @@ pub fn rs_analysis(xs: &[f64], opts: &RsOptions) -> RsAnalysis {
             fit_y.push(mean_ln);
         }
     }
-    assert!(
-        fit_x.len() >= 3,
-        "not enough lags above fit_min_lag = {} for the R/S fit",
-        opts.fit_min_lag
-    );
+    if fit_x.len() < 3 {
+        return Err(LrdError::GridTooSmall { got: fit_x.len(), needed: 3 });
+    }
     let fit = fit_line(&fit_x, &fit_y);
-    RsAnalysis { hurst: fit.slope, fit, points }
+    Ok(RsAnalysis { hurst: fit.slope, fit, points })
 }
 
 /// R/S analysis on the aggregated series `X^(m)` — the paper's guard

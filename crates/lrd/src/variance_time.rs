@@ -5,6 +5,8 @@
 //! gives `β`, and `H = 1 − β/2`.
 
 use crate::aggregate::{aggregate, log_spaced_blocks};
+use crate::error::LrdError;
+use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant};
 use vbr_stats::regression::{fit_line, LineFit};
 
 /// The computed variance-time curve and its fitted slope.
@@ -45,6 +47,16 @@ impl Default for VtOptions {
 pub fn variance_time(xs: &[f64], opts: &VtOptions) -> VarianceTime {
     let n = xs.len();
     assert!(n >= 100, "variance-time plot needs a reasonably long series, got {n}");
+    try_variance_time(xs, opts).unwrap_or_else(|e| panic!("variance_time: {e}"))
+}
+
+/// Fallible [`variance_time`]: rejects short, non-finite or constant
+/// input and degenerate block grids instead of panicking.
+pub fn try_variance_time(xs: &[f64], opts: &VtOptions) -> Result<VarianceTime, LrdError> {
+    let n = xs.len();
+    check_min_len(xs, 100)?;
+    check_all_finite(xs)?;
+    check_non_constant(xs)?;
     let max_m = opts.max_m.unwrap_or(n / 10).min(n / 10).max(2);
     let grid = log_spaced_blocks(max_m, opts.points_per_decade);
 
@@ -52,7 +64,10 @@ pub fn variance_time(xs: &[f64], opts: &VtOptions) -> VarianceTime {
         let mean = xs.iter().sum::<f64>() / n as f64;
         xs.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n as f64
     };
-    assert!(total_var > 0.0, "constant series");
+    // Catches numerically-constant series the exact-equality check missed.
+    if total_var <= 0.0 {
+        return Err(vbr_stats::error::DataError::ZeroVariance.into());
+    }
 
     let mut block_sizes = Vec::with_capacity(grid.len());
     let mut norm_var = Vec::with_capacity(grid.len());
@@ -74,20 +89,18 @@ pub fn variance_time(xs: &[f64], opts: &VtOptions) -> VarianceTime {
         .filter(|(&m, &v)| m >= opts.fit_min_m && v > 0.0)
         .map(|(&m, &v)| ((m as f64).ln(), v.ln()))
         .unzip();
-    assert!(
-        pairs.0.len() >= 3,
-        "not enough variance-time points above fit_min_m = {}",
-        opts.fit_min_m
-    );
+    if pairs.0.len() < 3 {
+        return Err(LrdError::GridTooSmall { got: pairs.0.len(), needed: 3 });
+    }
     let fit = fit_line(&pairs.0, &pairs.1);
     let beta = -fit.slope;
-    VarianceTime {
+    Ok(VarianceTime {
         block_sizes,
         normalized_variance: norm_var,
         fit,
         beta,
         hurst: 1.0 - beta / 2.0,
-    }
+    })
 }
 
 #[cfg(test)]

@@ -10,6 +10,8 @@
 //! interval the paper quotes (`Ĥ = 0.8 ± 0.088`).
 
 use crate::aggregate::aggregate;
+use crate::error::LrdError;
+use vbr_stats::error::{check_all_finite, check_all_positive, check_min_len, check_non_constant, NumericError};
 use vbr_stats::periodogram::Periodogram;
 
 /// A Whittle estimate with its 95 % confidence interval.
@@ -83,10 +85,49 @@ pub fn whittle(xs: &[f64]) -> WhittleEstimate {
     whittle_with(xs, SpectralModel::Farima)
 }
 
+/// Fallible [`whittle`].
+pub fn try_whittle(xs: &[f64]) -> Result<WhittleEstimate, LrdError> {
+    try_whittle_with(xs, SpectralModel::Farima)
+}
+
 /// Whittle estimate of H under a chosen spectral model.
+///
+/// Panics on invalid input; see [`try_whittle_with`] for the fallible
+/// variant used by the [`crate::robust`] fallback chain.
 pub fn whittle_with(xs: &[f64], model: SpectralModel) -> WhittleEstimate {
     let n = xs.len();
     assert!(n >= 128, "Whittle estimation needs a longer series, got {n}");
+    // Legacy behaviour: a boundary-stuck optimum returns the endpoint
+    // estimate rather than erroring (callers historically clamp it).
+    match whittle_core(xs, model) {
+        Ok((est, _)) => est,
+        Err(e) => panic!("whittle_with: {e}"),
+    }
+}
+
+/// Fallible [`whittle_with`]: rejects short, non-finite or constant
+/// series and reports an optimisation that terminated on the boundary of
+/// the admissible `d` interval (the spectral model cannot represent the
+/// series) instead of returning the untrustworthy boundary value.
+pub fn try_whittle_with(xs: &[f64], model: SpectralModel) -> Result<WhittleEstimate, LrdError> {
+    let (est, boundary) = whittle_core(xs, model)?;
+    if boundary {
+        return Err(NumericError::NotConverged { what: "Whittle optimisation" }.into());
+    }
+    Ok(est)
+}
+
+/// Shared search: input checks are typed errors; a boundary-stuck optimum
+/// is reported as a flag so the panicking wrappers can keep the legacy
+/// behaviour of returning the clamped endpoint estimate.
+fn whittle_core(
+    xs: &[f64],
+    model: SpectralModel,
+) -> Result<(WhittleEstimate, bool), LrdError> {
+    let n = xs.len();
+    check_min_len(xs, 128)?;
+    check_all_finite(xs)?;
+    check_non_constant(xs)?;
     let pg = Periodogram::compute(xs);
 
     // Golden-section search for d over (0, 0.4999).
@@ -115,30 +156,46 @@ pub fn whittle_with(xs: &[f64], model: SpectralModel) -> WhittleEstimate {
         }
     }
     let d_hat = 0.5 * (a + b);
+    if !d_hat.is_finite() {
+        return Err(NumericError::NotConverged { what: "Whittle optimisation" }.into());
+    }
+
+    // The search interval is (0, 0.4999); an optimum glued to the upper
+    // end means the fARIMA/fGn family cannot represent the series (H at
+    // or beyond 1) and the boundary value is arbitrary — flagged so the
+    // fallible path can reject it.
+    let boundary = d_hat >= 0.4999 - 1e-4;
 
     // Var(d̂) = 6/(π² n); H = d + ½ inherits it.
     let std_err = (6.0 / (std::f64::consts::PI.powi(2) * n as f64)).sqrt();
     let hurst = d_hat + 0.5;
-    WhittleEstimate {
-        hurst,
-        std_err,
-        ci_lo: hurst - 1.96 * std_err,
-        ci_hi: hurst + 1.96 * std_err,
-        n,
-    }
+    Ok((
+        WhittleEstimate {
+            hurst,
+            std_err,
+            ci_lo: hurst - 1.96 * std_err,
+            ci_hi: hurst + 1.96 * std_err,
+            n,
+        },
+        boundary,
+    ))
 }
 
 /// Whittle estimate of the log-transformed series — the paper estimates on
 /// `{log X_i}`, which is closer to Gaussian and shares the same `H`.
 pub fn whittle_log(xs: &[f64]) -> WhittleEstimate {
-    let logged: Vec<f64> = xs
-        .iter()
-        .map(|&x| {
-            assert!(x > 0.0, "whittle_log requires positive data");
-            x.ln()
-        })
-        .collect();
-    whittle(&logged)
+    for &x in xs {
+        assert!(x > 0.0, "whittle_log requires positive data");
+    }
+    try_whittle_log(xs).unwrap_or_else(|e| panic!("whittle_log: {e}"))
+}
+
+/// Fallible [`whittle_log`]: additionally rejects non-positive samples,
+/// which have no logarithm.
+pub fn try_whittle_log(xs: &[f64]) -> Result<WhittleEstimate, LrdError> {
+    check_all_positive(xs)?;
+    let logged: Vec<f64> = xs.iter().map(|&x| x.ln()).collect();
+    try_whittle(&logged)
 }
 
 /// The paper's aggregation sweep: Whittle estimates `Ĥ^(m)` with CIs for

@@ -1,0 +1,58 @@
+//! Typed errors for the queueing layer.
+
+use std::fmt;
+use vbr_stats::error::{DataError, NumericError};
+
+/// Why a queueing simulation could not be set up or run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QsimError {
+    /// A queue or search parameter is outside its domain.
+    Numeric(NumericError),
+    /// The driving trace cannot support the simulation.
+    Data(DataError),
+    /// A multiplexer needs at least one source.
+    NoSources,
+    /// The offered load meets or exceeds capacity: the queue is unstable
+    /// and the long-run loss rate is load-determined, so a finite-loss
+    /// search is meaningless. (The panicking `run` still allows overload
+    /// for transient studies.)
+    Overload {
+        /// Offered utilisation `mean rate / capacity`.
+        utilization: f64,
+    },
+}
+
+impl fmt::Display for QsimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            QsimError::Numeric(e) => e.fmt(f),
+            QsimError::Data(e) => e.fmt(f),
+            QsimError::NoSources => write!(f, "multiplexer needs at least one source"),
+            QsimError::Overload { utilization } => {
+                write!(f, "offered load is {utilization:.3} of capacity; queue is unstable")
+            }
+        }
+    }
+}
+
+impl std::error::Error for QsimError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            QsimError::Numeric(e) => Some(e),
+            QsimError::Data(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<NumericError> for QsimError {
+    fn from(e: NumericError) -> Self {
+        QsimError::Numeric(e)
+    }
+}
+
+impl From<DataError> for QsimError {
+    fn from(e: DataError) -> Self {
+        QsimError::Data(e)
+    }
+}

@@ -23,6 +23,7 @@
 pub mod admission;
 pub mod analytic;
 pub mod cell;
+pub mod error;
 pub mod metrics;
 pub mod mux;
 pub mod priority;
@@ -34,6 +35,7 @@ pub mod smg;
 pub use admission::{admit_by_norros, admit_by_simulation, AdmissionResult};
 pub use analytic::{fbm_variance_coef, md1_mean_queue, md1_mean_wait_in_service_units, norros_capacity};
 pub use cell::{simulate_cells, CellQueue, CellSimResult, CellSpacing, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
+pub use error::QsimError;
 pub use metrics::{worst_window_loss, DelayStats, SimResult};
 pub use mux::{aggregate_arrivals, aggregate_arrivals_multi, draw_offsets, lag_combinations, LagCombination};
 pub use priority::{simulate_layered, LayeredResult, PriorityQueue};

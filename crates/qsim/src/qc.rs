@@ -2,9 +2,11 @@
 //! buffer, and search for the capacity that achieves a target loss rate at
 //! a fixed maximum buffer delay `T_max = Q/C_total`.
 
+use crate::error::QsimError;
 use crate::metrics::SimResult;
 use crate::mux::{aggregate_arrivals, lag_combinations, LagCombination};
 use crate::queue::FluidQueue;
+use vbr_stats::error::{DataError, NumericError};
 use vbr_video::Trace;
 
 /// Which loss statistic a capacity search targets.
@@ -54,6 +56,18 @@ impl MuxSim {
     /// frames apart, 6 random lag combinations for N > 2.
     pub fn new(trace: &Trace, n_sources: usize, seed: u64) -> Self {
         assert!(n_sources >= 1);
+        Self::try_new(trace, n_sources, seed).unwrap_or_else(|e| panic!("MuxSim::new: {e}"))
+    }
+
+    /// Fallible [`new`](Self::new): rejects zero sources and an empty
+    /// trace with typed errors.
+    pub fn try_new(trace: &Trace, n_sources: usize, seed: u64) -> Result<Self, QsimError> {
+        if n_sources == 0 {
+            return Err(QsimError::NoSources);
+        }
+        if trace.frames() == 0 {
+            return Err(DataError::Empty.into());
+        }
         let min_sep = if n_sources == 1 { 0 } else { 1000.min(trace.frames() / (2 * n_sources)) };
         let combos = lag_combinations(n_sources, trace.frames(), min_sep, seed);
         let aggregates: Vec<Vec<f64>> =
@@ -67,7 +81,7 @@ impl MuxSim {
             .cloned()
             .fold(0.0f64, f64::max)
             / dt;
-        MuxSim { n_sources, dt, mean_rate, peak_slot_rate, aggregates, combos }
+        Ok(MuxSim { n_sources, dt, mean_rate, peak_slot_rate, aggregates, combos })
     }
 
     /// Number of multiplexed sources.
@@ -117,6 +131,8 @@ impl MuxSim {
     /// the Q-C searches call this thousands of times over multi-million-
     /// slot series.
     pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
+        // Overload is deliberately legal here (transient studies run below
+        // the mean rate); `try_run` is the variant that rejects it.
         let slots_per_sec = (1.0 / self.dt).round() as usize;
         let mut p_l = 0.0;
         let mut p_wes = 0.0;
@@ -136,11 +152,25 @@ impl MuxSim {
                     win_arr = 0.0;
                 }
             }
-            p_l += q.lost() / q.arrived();
+            p_l += q.loss_rate();
             p_wes += worst;
         }
         let k = self.aggregates.len() as f64;
         AveragedLoss { p_l: p_l / k, p_wes: p_wes / k }
+    }
+
+    /// Fallible [`run`](Self::run): rejects an invalid capacity or buffer
+    /// and — unlike `run` — a stable-state violation: offered load at or
+    /// above capacity ([`QsimError::Overload`]), where a finite loss
+    /// target can never be met.
+    pub fn try_run(&self, capacity_bps: f64, buffer_bytes: f64) -> Result<AveragedLoss, QsimError> {
+        // Validates capacity and buffer exactly as every queue step will.
+        FluidQueue::try_new(buffer_bytes, capacity_bps)?;
+        let utilization = self.mean_rate / capacity_bps;
+        if utilization >= 1.0 {
+            return Err(QsimError::Overload { utilization });
+        }
+        Ok(self.run(capacity_bps, buffer_bytes))
     }
 
     /// Smallest total capacity (bytes/s) achieving `target` under `metric`
@@ -154,6 +184,51 @@ impl MuxSim {
         iterations: usize,
     ) -> f64 {
         assert!(t_max_secs >= 0.0);
+        self.try_required_capacity(t_max_secs, target, metric, iterations)
+            .unwrap_or_else(|e| panic!("required_capacity: {e}"))
+    }
+
+    /// Fallible [`required_capacity`](Self::required_capacity): rejects a
+    /// negative/non-finite `t_max` and an unreachable loss target with
+    /// typed errors.
+    pub fn try_required_capacity(
+        &self,
+        t_max_secs: f64,
+        target: LossTarget,
+        metric: LossMetric,
+        iterations: usize,
+    ) -> Result<f64, QsimError> {
+        if !(t_max_secs >= 0.0 && t_max_secs.is_finite()) {
+            return Err(NumericError::OutOfRange {
+                what: "t_max_secs",
+                value: t_max_secs,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            }
+            .into());
+        }
+        if let LossTarget::Rate(r) = target {
+            if !(r >= 0.0 && r.is_finite()) {
+                return Err(NumericError::OutOfRange {
+                    what: "loss target rate",
+                    value: r,
+                    lo: 0.0,
+                    hi: f64::INFINITY,
+                }
+                .into());
+            }
+        }
+        Ok(self.bisect_capacity(t_max_secs, target, metric, iterations))
+    }
+
+    /// The bisection itself, assuming validated inputs.
+    fn bisect_capacity(
+        &self,
+        t_max_secs: f64,
+        target: LossTarget,
+        metric: LossMetric,
+        iterations: usize,
+    ) -> f64 {
         let mut lo = self.mean_rate; // below the mean, loss is unavoidable
         let mut hi = self.peak_slot_rate.max(lo * 1.001); // provably lossless
         let meets = |c: f64| -> bool {
@@ -317,6 +392,44 @@ mod tests {
                 "curve not decreasing: {curve:?}"
             );
         }
+    }
+
+    #[test]
+    fn try_run_rejects_overload_run_allows_it() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 10);
+        // Below the mean rate: the panicking path still simulates it…
+        let lossy = sim.run(sim.mean_rate() * 0.5, 1_000.0);
+        assert!(lossy.p_l > 0.1);
+        // …while the fallible path reports the instability.
+        match sim.try_run(sim.mean_rate() * 0.5, 1_000.0) {
+            Err(QsimError::Overload { utilization }) => {
+                assert!((utilization - 2.0).abs() < 1e-9, "utilization {utilization}")
+            }
+            other => panic!("expected Overload, got {other:?}"),
+        }
+        // Stable loads agree between the two paths.
+        let c = sim.mean_rate() * 1.2;
+        assert_eq!(sim.try_run(c, 1_000.0).unwrap(), sim.run(c, 1_000.0));
+    }
+
+    #[test]
+    fn try_constructors_and_searches_reject_bad_inputs() {
+        let t = test_trace();
+        assert!(matches!(MuxSim::try_new(&t, 0, 1), Err(QsimError::NoSources)));
+        let sim = MuxSim::try_new(&t, 1, 1).unwrap();
+        assert!(sim.try_run(0.0, 100.0).is_err());
+        assert!(sim.try_run(sim.mean_rate() * 2.0, -1.0).is_err());
+        assert!(sim
+            .try_required_capacity(-0.1, LossTarget::Zero, LossMetric::Overall, 5)
+            .is_err());
+        assert!(sim
+            .try_required_capacity(0.01, LossTarget::Rate(f64::NAN), LossMetric::Overall, 5)
+            .is_err());
+        let c = sim
+            .try_required_capacity(0.01, LossTarget::Rate(1e-2), LossMetric::Overall, 15)
+            .unwrap();
+        assert!(c > sim.mean_rate() && c.is_finite());
     }
 
     #[test]

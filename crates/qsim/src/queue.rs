@@ -7,6 +7,9 @@
 //! approximation: per slot of length `dt`, `arrival` bytes flow in while
 //! `C·dt` bytes flow out.
 
+use crate::error::QsimError;
+use vbr_stats::error::{check_positive_param, NumericError};
+
 /// A finite-buffer fluid FIFO queue.
 #[derive(Debug, Clone)]
 pub struct FluidQueue {
@@ -27,14 +30,48 @@ impl FluidQueue {
     pub fn new(buffer_bytes: f64, capacity_bps: f64) -> Self {
         assert!(buffer_bytes >= 0.0, "buffer must be non-negative");
         assert!(capacity_bps > 0.0, "capacity must be positive");
-        FluidQueue {
+        Self::try_new(buffer_bytes, capacity_bps)
+            .unwrap_or_else(|e| panic!("FluidQueue::new: {e}"))
+    }
+
+    /// Fallible [`new`](Self::new): rejects a negative or non-finite
+    /// buffer and a non-positive capacity with typed errors.
+    pub fn try_new(buffer_bytes: f64, capacity_bps: f64) -> Result<Self, QsimError> {
+        if !(buffer_bytes >= 0.0 && buffer_bytes.is_finite()) {
+            return Err(NumericError::OutOfRange {
+                what: "buffer_bytes",
+                value: buffer_bytes,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            }
+            .into());
+        }
+        check_positive_param("capacity_bps", capacity_bps)?;
+        Ok(FluidQueue {
             buffer_bytes,
             capacity_bps,
             backlog: 0.0,
             arrived: 0.0,
             lost: 0.0,
             served: 0.0,
+        })
+    }
+
+    /// Fallible [`step`](Self::step): rejects negative/non-finite arrivals
+    /// and non-positive slot durations instead of corrupting the queue
+    /// state. The queue is untouched when an error is returned.
+    pub fn try_step(&mut self, arrival: f64, dt: f64) -> Result<f64, QsimError> {
+        if !(arrival >= 0.0 && arrival.is_finite()) {
+            return Err(NumericError::OutOfRange {
+                what: "arrival",
+                value: arrival,
+                lo: 0.0,
+                hi: f64::INFINITY,
+            }
+            .into());
         }
+        check_positive_param("dt", dt)?;
+        Ok(self.step(arrival, dt))
     }
 
     /// Advances one slot of `dt` seconds with `arrival` bytes offered.
@@ -165,6 +202,24 @@ mod tests {
     fn max_delay_definition() {
         let q = FluidQueue::new(200.0, 100_000.0);
         assert!((q.max_delay() - 0.002).abs() < 1e-12);
+    }
+
+    #[test]
+    fn try_new_and_try_step_reject_bad_inputs() {
+        assert!(FluidQueue::try_new(-1.0, 1000.0).is_err());
+        assert!(FluidQueue::try_new(f64::NAN, 1000.0).is_err());
+        assert!(FluidQueue::try_new(100.0, 0.0).is_err());
+        assert!(FluidQueue::try_new(100.0, f64::INFINITY).is_err());
+
+        let mut q = FluidQueue::try_new(100.0, 1000.0).unwrap();
+        assert!(q.try_step(f64::NAN, 0.001).is_err());
+        assert!(q.try_step(-5.0, 0.001).is_err());
+        assert!(q.try_step(1.0, 0.0).is_err());
+        // Rejected steps must not perturb the accounting.
+        assert_eq!(q.arrived(), 0.0);
+        assert_eq!(q.backlog(), 0.0);
+        assert_eq!(q.try_step(1.0, 0.001).unwrap(), 0.0);
+        assert_eq!(q.arrived(), 1.0);
     }
 
     #[test]

@@ -1,0 +1,290 @@
+//! Shared error vocabulary for the whole workspace.
+//!
+//! Every crate in the pipeline (estimation → generation → queueing)
+//! reports failures through two base enums defined here: [`NumericError`]
+//! for invalid *parameters* (a single scalar out of its domain) and
+//! [`DataError`] for invalid *samples* (a series that cannot support the
+//! requested computation). Per-crate error enums wrap these via `From`,
+//! so a failure deep in `vbr-stats` surfaces through `vbr-lrd` or
+//! `vbr-model` without losing its cause.
+//!
+//! The `check_*` helpers centralise the validation rules so that every
+//! `try_*` entry point rejects the same inputs with the same message.
+
+use std::fmt;
+
+/// A scalar parameter outside its mathematical domain.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NumericError {
+    /// The parameter is NaN or infinite.
+    NonFinite {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The parameter must be strictly positive.
+    NonPositive {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+    },
+    /// The parameter must lie in the half-open interval `[lo, hi)`.
+    OutOfRange {
+        /// Parameter name.
+        what: &'static str,
+        /// Offending value.
+        value: f64,
+        /// Inclusive lower bound.
+        lo: f64,
+        /// Exclusive upper bound.
+        hi: f64,
+    },
+    /// An iterative procedure ended on the boundary of its search
+    /// interval or failed to settle — the answer cannot be trusted.
+    NotConverged {
+        /// Which procedure failed.
+        what: &'static str,
+    },
+}
+
+impl fmt::Display for NumericError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            NumericError::NonFinite { what, value } => {
+                write!(f, "{what} must be finite, got {value}")
+            }
+            NumericError::NonPositive { what, value } => {
+                write!(f, "{what} must be positive, got {value}")
+            }
+            NumericError::OutOfRange { what, value, lo, hi } => {
+                write!(f, "{what} must be in [{lo}, {hi}), got {value}")
+            }
+            NumericError::NotConverged { what } => {
+                write!(f, "{what} did not converge")
+            }
+        }
+    }
+}
+
+impl std::error::Error for NumericError {}
+
+/// A data series that cannot support the requested computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DataError {
+    /// The series is empty.
+    Empty,
+    /// The series is shorter than the procedure requires.
+    TooShort {
+        /// Minimum length required.
+        needed: usize,
+        /// Actual length.
+        got: usize,
+    },
+    /// A sample is NaN or infinite.
+    NonFiniteSample {
+        /// Index of the first offending sample.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// A sample violates a positivity requirement.
+    NonPositiveSample {
+        /// Index of the first offending sample.
+        index: usize,
+        /// Offending value.
+        value: f64,
+    },
+    /// The series is constant: zero variance defeats every estimator.
+    ZeroVariance,
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            DataError::Empty => write!(f, "series is empty"),
+            DataError::TooShort { needed, got } => {
+                write!(f, "series too short: need at least {needed} points, got {got}")
+            }
+            DataError::NonFiniteSample { index, value } => {
+                write!(f, "non-finite sample {value} at index {index}")
+            }
+            DataError::NonPositiveSample { index, value } => {
+                write!(f, "non-positive sample {value} at index {index}")
+            }
+            DataError::ZeroVariance => write!(f, "series is constant (zero variance)"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+/// Either kind of base failure — handy for code that validates both
+/// parameters and data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum StatsError {
+    /// A parameter failure.
+    Numeric(NumericError),
+    /// A data failure.
+    Data(DataError),
+}
+
+impl fmt::Display for StatsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StatsError::Numeric(e) => e.fmt(f),
+            StatsError::Data(e) => e.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for StatsError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StatsError::Numeric(e) => Some(e),
+            StatsError::Data(e) => Some(e),
+        }
+    }
+}
+
+impl From<NumericError> for StatsError {
+    fn from(e: NumericError) -> Self {
+        StatsError::Numeric(e)
+    }
+}
+
+impl From<DataError> for StatsError {
+    fn from(e: DataError) -> Self {
+        StatsError::Data(e)
+    }
+}
+
+/// Rejects a NaN/infinite parameter.
+pub fn check_finite_param(what: &'static str, value: f64) -> Result<(), NumericError> {
+    if value.is_finite() {
+        Ok(())
+    } else {
+        Err(NumericError::NonFinite { what, value })
+    }
+}
+
+/// Rejects a parameter that is not strictly positive (NaN included).
+pub fn check_positive_param(what: &'static str, value: f64) -> Result<(), NumericError> {
+    check_finite_param(what, value)?;
+    if value > 0.0 {
+        Ok(())
+    } else {
+        Err(NumericError::NonPositive { what, value })
+    }
+}
+
+/// Rejects a parameter outside `[lo, hi)` (NaN included).
+pub fn check_in_range(
+    what: &'static str,
+    value: f64,
+    lo: f64,
+    hi: f64,
+) -> Result<(), NumericError> {
+    check_finite_param(what, value)?;
+    if (lo..hi).contains(&value) {
+        Ok(())
+    } else {
+        Err(NumericError::OutOfRange { what, value, lo, hi })
+    }
+}
+
+/// Rejects a series shorter than `needed` (reporting `Empty` for length
+/// zero).
+pub fn check_min_len(xs: &[f64], needed: usize) -> Result<(), DataError> {
+    if xs.is_empty() {
+        Err(DataError::Empty)
+    } else if xs.len() < needed {
+        Err(DataError::TooShort { needed, got: xs.len() })
+    } else {
+        Ok(())
+    }
+}
+
+/// Rejects a series containing any NaN/infinite sample.
+pub fn check_all_finite(xs: &[f64]) -> Result<(), DataError> {
+    match xs.iter().position(|v| !v.is_finite()) {
+        Some(index) => Err(DataError::NonFiniteSample { index, value: xs[index] }),
+        None => Ok(()),
+    }
+}
+
+/// Rejects a series containing any sample ≤ 0 (NaN included).
+pub fn check_all_positive(xs: &[f64]) -> Result<(), DataError> {
+    check_all_finite(xs)?;
+    match xs.iter().position(|&v| v <= 0.0) {
+        Some(index) => Err(DataError::NonPositiveSample { index, value: xs[index] }),
+        None => Ok(()),
+    }
+}
+
+/// Rejects a constant series (zero sample variance).
+pub fn check_non_constant(xs: &[f64]) -> Result<(), DataError> {
+    check_min_len(xs, 2)?;
+    let first = xs[0];
+    if xs.iter().all(|&v| v == first) {
+        Err(DataError::ZeroVariance)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_checks_reject_bad_scalars() {
+        assert!(check_finite_param("x", f64::NAN).is_err());
+        assert!(check_finite_param("x", f64::INFINITY).is_err());
+        assert!(check_finite_param("x", -3.0).is_ok());
+        assert!(check_positive_param("x", 0.0).is_err());
+        assert!(check_positive_param("x", f64::NAN).is_err());
+        assert!(check_positive_param("x", 1e-300).is_ok());
+        assert!(check_in_range("h", 1.0, 0.5, 1.0).is_err());
+        assert!(check_in_range("h", 0.5, 0.5, 1.0).is_ok());
+        assert!(check_in_range("h", f64::NAN, 0.5, 1.0).is_err());
+    }
+
+    #[test]
+    fn data_checks_identify_first_offender() {
+        assert_eq!(check_min_len(&[], 1), Err(DataError::Empty));
+        assert_eq!(check_min_len(&[1.0], 3), Err(DataError::TooShort { needed: 3, got: 1 }));
+        let spiked = [1.0, 2.0, f64::NAN, 4.0];
+        match check_all_finite(&spiked) {
+            Err(DataError::NonFiniteSample { index: 2, .. }) => {}
+            other => panic!("unexpected: {other:?}"),
+        }
+        match check_all_positive(&[1.0, -2.0, 3.0]) {
+            Err(DataError::NonPositiveSample { index: 1, value }) => {
+                assert_eq!(value, -2.0)
+            }
+            other => panic!("unexpected: {other:?}"),
+        }
+        assert_eq!(check_non_constant(&[5.0; 10]), Err(DataError::ZeroVariance));
+        assert!(check_non_constant(&[5.0, 5.1]).is_ok());
+    }
+
+    #[test]
+    fn display_messages_match_asserting_wrappers() {
+        // The panicking wrappers rely on these exact phrasings so that
+        // pre-existing `should_panic(expected = ...)` tests keep passing.
+        let e = NumericError::NonPositive { what: "mu_gamma", value: 0.0 };
+        assert_eq!(e.to_string(), "mu_gamma must be positive, got 0");
+        let e = NumericError::OutOfRange { what: "hurst", value: 0.4, lo: 0.5, hi: 1.0 };
+        assert_eq!(e.to_string(), "hurst must be in [0.5, 1), got 0.4");
+    }
+
+    #[test]
+    fn errors_chain_through_stats_error() {
+        let e: StatsError = DataError::ZeroVariance.into();
+        assert!(std::error::Error::source(&e).is_some());
+        let e: StatsError = NumericError::NotConverged { what: "whittle" }.into();
+        assert!(e.to_string().contains("did not converge"));
+    }
+}

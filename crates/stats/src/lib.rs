@@ -23,6 +23,7 @@ pub mod acf;
 pub mod ci;
 pub mod descriptive;
 pub mod dist;
+pub mod error;
 pub mod gof;
 pub mod histogram;
 pub mod moving_average;
@@ -32,6 +33,7 @@ pub mod rng;
 pub mod special;
 
 pub use acf::{autocorrelation, autocovariance};
+pub use error::{DataError, NumericError, StatsError};
 pub use ci::{mean_ci_iid, mean_ci_lrd, ConfidenceInterval};
 pub use descriptive::{quantile, Moments, TraceSummary};
 pub use gof::{chi_square, ks_p_value, ks_statistic};

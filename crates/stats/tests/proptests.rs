@@ -61,7 +61,7 @@ proptest! {
         let r = autocorrelation(&xs, xs.len() / 2);
         prop_assert!((r[0] - 1.0).abs() < 1e-12);
         for &v in &r {
-            prop_assert!(v >= -1.0 - 1e-9 && v <= 1.0 + 1e-9);
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
         }
     }
 

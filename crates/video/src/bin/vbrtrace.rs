@@ -48,9 +48,13 @@ fn main() {
     match cmd {
         "gen" => {
             let out = args.get(1).unwrap_or_else(|| usage());
-            let frames = flag(&args, "--frames")
+            let frames: usize = flag(&args, "--frames")
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(171_000);
+            if frames == 0 {
+                eprintln!("--frames must be positive");
+                std::process::exit(2);
+            }
             let seed = flag(&args, "--seed")
                 .map(|v| v.parse().unwrap_or_else(|_| usage()))
                 .unwrap_or(ScreenplayConfig::default().seed);

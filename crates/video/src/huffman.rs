@@ -97,7 +97,7 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
         0 => return lengths,
         1 => {
             // Single-symbol alphabet: give it a 1-bit code.
-            let Reverse((_, idx)) = heap.pop().unwrap();
+            let Reverse((_, idx)) = heap.pop().expect("heap.len() == 1 in this arm");
             if let Node::Leaf(s) = arena[idx] {
                 lengths[s] = 1;
             }
@@ -106,12 +106,14 @@ fn huffman_lengths(freqs: &[u64]) -> Vec<u8> {
         _ => {}
     }
     while heap.len() > 1 {
-        let Reverse((f1, n1)) = heap.pop().unwrap();
-        let Reverse((f2, n2)) = heap.pop().unwrap();
+        // The loop guard guarantees two nodes to merge.
+        let Reverse((f1, n1)) = heap.pop().expect("heap.len() > 1");
+        let Reverse((f2, n2)) = heap.pop().expect("heap.len() > 1");
         arena.push(Node::Internal(n1, n2));
         heap.push(Reverse((f1 + f2, arena.len() - 1)));
     }
-    let Reverse((_, root)) = heap.pop().unwrap();
+    // Each merge removes two nodes and adds one, so exactly one remains.
+    let Reverse((_, root)) = heap.pop().expect("merge loop leaves one root");
 
     // Iterative depth-first walk assigning depths as code lengths.
     let mut stack = vec![(root, 0u8)];

@@ -22,6 +22,7 @@
 
 pub mod coder;
 pub mod dct;
+pub mod error;
 pub mod frame;
 pub mod huffman;
 pub mod interframe;
@@ -34,6 +35,7 @@ pub mod trace;
 pub mod zigzag;
 
 pub use coder::{psnr, CodedFrame, CoderConfig, IntraframeCoder};
+pub use error::TraceError;
 pub use interframe::{train_interframe, FrameKind, InterframeCoder};
 pub use frame::Frame;
 pub use quant::Quantizer;

@@ -5,6 +5,8 @@
 use std::io::{self, Read, Write};
 use std::path::Path;
 
+use crate::error::TraceError;
+use vbr_stats::error::{check_positive_param, NumericError};
 use vbr_stats::TraceSummary;
 
 /// A variable-bit-rate video trace: coded bytes per slice.
@@ -34,15 +36,34 @@ impl Trace {
     ///
     /// `slice_bytes.len()` must be a multiple of `slices_per_frame`.
     pub fn from_slices(slice_bytes: Vec<u32>, slices_per_frame: usize, fps: f64) -> Self {
-        assert!(slices_per_frame > 0, "slices_per_frame must be positive");
-        assert!(fps > 0.0, "fps must be positive");
-        assert!(
-            slice_bytes.len().is_multiple_of(slices_per_frame),
-            "slice count {} is not a multiple of slices_per_frame {}",
-            slice_bytes.len(),
-            slices_per_frame
-        );
-        Trace { slice_bytes, slices_per_frame, fps }
+        Self::try_from_slices(slice_bytes, slices_per_frame, fps)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Fallible [`from_slices`](Self::from_slices): rejects a zero
+    /// `slices_per_frame`, a non-positive/non-finite `fps` and a ragged
+    /// slice count with typed errors — the entry point for data read from
+    /// untrusted files.
+    pub fn try_from_slices(
+        slice_bytes: Vec<u32>,
+        slices_per_frame: usize,
+        fps: f64,
+    ) -> Result<Self, TraceError> {
+        if slices_per_frame == 0 {
+            return Err(NumericError::NonPositive {
+                what: "slices_per_frame",
+                value: 0.0,
+            }
+            .into());
+        }
+        check_positive_param("fps", fps)?;
+        if !slice_bytes.len().is_multiple_of(slices_per_frame) {
+            return Err(TraceError::RaggedSlices {
+                len: slice_bytes.len(),
+                spf: slices_per_frame,
+            });
+        }
+        Ok(Trace { slice_bytes, slices_per_frame, fps })
     }
 
     /// Builds a frame-granularity trace (one slice per frame).
@@ -174,17 +195,30 @@ impl Trace {
         r.read_exact(&mut b8)?;
         let fps = f64::from_le_bytes(b8);
         r.read_exact(&mut b8)?;
-        let n = u64::from_le_bytes(b8) as usize;
-        let mut data = vec![0u8; n * 4];
-        r.read_exact(&mut data)?;
-        let slice_bytes = data
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes(c.try_into().unwrap()))
-            .collect();
-        if spf == 0 || fps <= 0.0 {
+        let n = u64::from_le_bytes(b8);
+        // Validate the geometry before trusting the length field.
+        if spf == 0 || !(fps > 0.0 && fps.is_finite()) {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "bad trace geometry"));
         }
-        Ok(Trace::from_slices(slice_bytes, spf, fps))
+        let payload = n.checked_mul(4).ok_or_else(|| {
+            io::Error::new(io::ErrorKind::InvalidData, "slice count overflows")
+        })?;
+        // `take` bounds the allocation by the bytes actually present, so a
+        // corrupt length field cannot demand an absurd upfront buffer.
+        let mut data = Vec::new();
+        r.take(payload).read_to_end(&mut data)?;
+        if data.len() as u64 != payload {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "truncated trace payload",
+            ));
+        }
+        let slice_bytes = data
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes(c.try_into().expect("chunks_exact(4) yields 4-byte chunks")))
+            .collect();
+        Trace::try_from_slices(slice_bytes, spf, fps)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
     }
 
     /// Saves to a file (binary format).
@@ -305,5 +339,62 @@ mod tests {
     #[should_panic(expected = "multiple of slices_per_frame")]
     fn rejects_ragged_slices() {
         Trace::from_slices(vec![1, 2, 3], 2, 24.0);
+    }
+
+    #[test]
+    fn try_from_slices_rejects_bad_geometry_with_typed_errors() {
+        assert!(matches!(
+            Trace::try_from_slices(vec![1, 2, 3], 2, 24.0),
+            Err(TraceError::RaggedSlices { len: 3, spf: 2 })
+        ));
+        assert!(matches!(
+            Trace::try_from_slices(vec![1, 2], 0, 24.0),
+            Err(TraceError::Numeric(_))
+        ));
+        assert!(Trace::try_from_slices(vec![1, 2], 2, 0.0).is_err());
+        assert!(Trace::try_from_slices(vec![1, 2], 2, f64::NAN).is_err());
+        assert!(Trace::try_from_slices(vec![1, 2], 2, 24.0).is_ok());
+    }
+
+    #[test]
+    fn binary_rejects_ragged_payload_without_panicking() {
+        // Valid header claiming 2 slices per frame but 3 slices of data.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(Trace::MAGIC);
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&24.0f64.to_le_bytes());
+        buf.extend_from_slice(&3u64.to_le_bytes());
+        for v in [1u32, 2, 3] {
+            buf.extend_from_slice(&v.to_le_bytes());
+        }
+        let err = Trace::read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("multiple of slices_per_frame"));
+    }
+
+    #[test]
+    fn binary_rejects_truncated_payload() {
+        let t = small_trace();
+        let mut buf = Vec::new();
+        t.write_binary(&mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        let err = Trace::read_binary(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn binary_rejects_absurd_length_field_without_allocating() {
+        // A header demanding u64::MAX slices must fail cleanly, not
+        // attempt a multi-exabyte allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(Trace::MAGIC);
+        buf.extend_from_slice(&1u64.to_le_bytes());
+        buf.extend_from_slice(&24.0f64.to_le_bytes());
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        let err = Trace::read_binary(&buf[..]).unwrap_err();
+        assert!(matches!(
+            err.kind(),
+            io::ErrorKind::InvalidData | io::ErrorKind::UnexpectedEof
+        ));
     }
 }

@@ -49,15 +49,16 @@ pub use vbr_video::Trace;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use vbr_fgn::{DaviesHarte, Hosking, MarginalTransform, TableMode};
+    pub use vbr_fgn::{DaviesHarte, FgnError, Hosking, MarginalTransform, RobustFgn, TableMode};
     pub use vbr_lrd::{
-        hurst_report, rs_analysis, variance_time, whittle_log, HurstReport, ReportOptions,
-        RsOptions, VtOptions,
+        hurst_report, robust_hurst, rs_analysis, variance_time, whittle_log, EstimatorKind,
+        HurstReport, LrdError, ReportOptions, RobustHurst, RsOptions, VtOptions,
     };
     pub use vbr_model::{
-        estimate_trace, EstimateOptions, HurstMethod, ModelParams, SourceModel,
+        estimate_trace, try_estimate_series, try_estimate_trace, EstimateOptions, HurstMethod,
+        ModelError, ModelParams, SourceModel,
     };
-    pub use vbr_qsim::{qc_curve, smg_curve, LossMetric, LossTarget, MuxSim};
+    pub use vbr_qsim::{qc_curve, smg_curve, LossMetric, LossTarget, MuxSim, QsimError};
     pub use vbr_stats::dist::{ContinuousDist, Gamma, GammaPareto, Lognormal, Normal, Pareto};
     pub use vbr_stats::{Moments, TraceSummary, Xoshiro256};
     pub use vbr_video::{

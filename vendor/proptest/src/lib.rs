@@ -1,0 +1,554 @@
+//! Offline mini property-testing engine.
+//!
+//! The build environment has no access to crates.io, so the real
+//! `proptest` crate cannot be downloaded. This shim implements a small
+//! but genuine property-testing engine behind the subset of the proptest
+//! API the workspace uses:
+//!
+//! - the `proptest! { #[test] fn name(arg in strategy, ...) { .. } }`
+//!   macro, including `#![proptest_config(...)]`;
+//! - `prop_assert!`, `prop_assert_eq!`, `prop_assert_ne!`, `prop_assume!`;
+//! - [`Strategy`] with `prop_map` / `prop_filter`, range strategies for
+//!   the primitive numeric types, tuple strategies, and
+//!   `prop::collection::vec` with either an exact size or a size range.
+//!
+//! Differences from the real crate: no shrinking (a failing case reports
+//! its inputs instead), and the default case count is 64 (override with
+//! the `PROPTEST_CASES` environment variable; `PROPTEST_SEED` perturbs
+//! the deterministic per-test RNG seed).
+
+pub mod test_runner {
+    //! Deterministic case runner: config, RNG, and the error type that
+    //! `prop_assert*` produce.
+
+    /// Why a single generated case did not pass.
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub enum TestCaseError {
+        /// The property was violated — the whole test fails.
+        Fail(String),
+        /// The case was rejected by `prop_assume!` — skipped, not a failure.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// A property violation.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An assumption rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    impl std::fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+            match self {
+                TestCaseError::Fail(m) => write!(f, "{m}"),
+                TestCaseError::Reject(m) => write!(f, "rejected: {m}"),
+            }
+        }
+    }
+
+    /// Runner configuration. Only `cases` is implemented.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of generated cases per property.
+        pub cases: u32,
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` cases per property.
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            let cases = std::env::var("PROPTEST_CASES")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(64);
+            ProptestConfig { cases }
+        }
+    }
+
+    /// SplitMix64 RNG seeded deterministically from the test path and the
+    /// case index, so failures are reproducible run-to-run.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// RNG for case `case` of the test named `name`.
+        pub fn deterministic(name: &str, case: u64) -> Self {
+            // FNV-1a over the test path, mixed with the case index and the
+            // optional PROPTEST_SEED perturbation.
+            let mut h = 0xcbf2_9ce4_8422_2325u64;
+            for b in name.bytes() {
+                h = (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01b3);
+            }
+            let env = std::env::var("PROPTEST_SEED")
+                .ok()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0u64);
+            TestRng {
+                state: h ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ env,
+            }
+        }
+
+        /// Next raw 64-bit draw (SplitMix64).
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform draw in `[0, 1)`.
+        pub fn unit(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+}
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use crate::test_runner::TestRng;
+    use std::fmt::Debug;
+    use std::ops::Range;
+
+    /// How many times a filter may reject in a row before the strategy
+    /// gives up (mirrors proptest's "too many local rejects").
+    const MAX_FILTER_RETRIES: usize = 1_000;
+
+    /// A source of generated values.
+    ///
+    /// Unlike the real proptest there is no shrinking: `generate` draws a
+    /// single value for each case.
+    pub trait Strategy {
+        /// The generated type.
+        type Value: Debug;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O: Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Keeps only values satisfying `pred`, retrying the draw (up to an
+        /// internal cap) when the predicate rejects.
+        fn prop_filter<F: Fn(&Self::Value) -> bool>(
+            self,
+            whence: impl Into<String>,
+            pred: F,
+        ) -> Filter<Self, F>
+        where
+            Self: Sized,
+        {
+            Filter { inner: self, whence: whence.into(), pred }
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O: Debug, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+
+        fn generate(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: String,
+        pred: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+
+        fn generate(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..MAX_FILTER_RETRIES {
+                let v = self.inner.generate(rng);
+                if (self.pred)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter '{}' rejected {MAX_FILTER_RETRIES} consecutive draws",
+                self.whence
+            );
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    // Bias 2/16 of draws onto the boundaries, like the edge
+                    // weighting of the real crate.
+                    let pick = match rng.next_u64() % 16 {
+                        0 => 0,
+                        1 => span - 1,
+                        _ => u128::from(rng.next_u64()) % span,
+                    };
+                    (self.start as i128 + pick as i128) as $t
+                }
+            }
+        )+};
+    }
+
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),+ $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+
+                fn generate(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    match rng.next_u64() % 16 {
+                        0 => self.start,
+                        1 => {
+                            // Just inside the exclusive upper bound.
+                            let v = self.end - (self.end - self.start) * 1e-9;
+                            if v > self.start { v } else { self.start }
+                        }
+                        _ => self.start + (rng.unit() as $t) * (self.end - self.start),
+                    }
+                }
+            }
+        )+};
+    }
+
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident . $idx:tt),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+
+                fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                    ($(self.$idx.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    tuple_strategy!(A.0);
+    tuple_strategy!(A.0, B.1);
+    tuple_strategy!(A.0, B.1, C.2);
+    tuple_strategy!(A.0, B.1, C.2, D.3);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6);
+    tuple_strategy!(A.0, B.1, C.2, D.3, E.4, F.5, G.6, H.7);
+
+    /// A strategy yielding one fixed value (clone per case).
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Debug + Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`vec`).
+
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::Range;
+
+    /// Number of elements a [`vec`] strategy may produce: either an exact
+    /// count or a half-open range.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize, // exclusive
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n + 1 }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty vec size range");
+            SizeRange { lo: r.start, hi: r.end }
+        }
+    }
+
+    /// Generates `Vec`s whose elements come from `element` and whose
+    /// length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    /// See [`vec`].
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = self.size.hi - self.size.lo;
+            let n = if span <= 1 {
+                self.size.lo
+            } else {
+                // Bias 1/16 of draws onto the minimum length (edge case).
+                match rng.next_u64() % 16 {
+                    0 => self.size.lo,
+                    _ => self.size.lo + (rng.next_u64() as usize) % span,
+                }
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// `prop::` facade so `prop::collection::vec(..)` works after
+/// `use proptest::prelude::*;`, as with the real crate.
+pub mod prop {
+    pub use crate::collection;
+}
+
+pub mod prelude {
+    //! One-stop import mirroring `proptest::prelude`.
+
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+                    l, r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    format!($($fmt)+),
+                    l,
+                    r
+                ),
+            ));
+        }
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!(
+                    "assertion failed: `left != right`\n  both: {:?}",
+                    l
+                ),
+            ));
+        }
+    }};
+}
+
+/// Skips the current case (not a failure) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                stringify!($cond),
+            ));
+        }
+    };
+}
+
+/// Declares property tests.
+///
+/// Each `fn name(arg in strategy, ...) { body }` item expands to a
+/// `#[test]` that runs the body over `cases` generated inputs. A failing
+/// case panics with the offending inputs (no shrinking).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            cfg = <$crate::test_runner::ProptestConfig as ::std::default::Default>::default();
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_items {
+    (cfg = $cfg:expr;) => {};
+    (cfg = $cfg:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg = $cfg;
+            // A tuple of strategies is itself a strategy: evaluate the
+            // argument strategies once, then draw a tuple per case.
+            let __strats = ($($strat,)+);
+            for __case in 0..__cfg.cases {
+                let mut __rng = $crate::test_runner::TestRng::deterministic(
+                    concat!(module_path!(), "::", stringify!($name)),
+                    __case as u64,
+                );
+                let __vals =
+                    $crate::strategy::Strategy::generate(&__strats, &mut __rng);
+                let __inputs = format!("{:?}", __vals);
+                let ($($arg,)+) = __vals;
+                let __result: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (move || {
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match __result {
+                    ::std::result::Result::Ok(()) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Reject(_),
+                    ) => {}
+                    ::std::result::Result::Err(
+                        $crate::test_runner::TestCaseError::Fail(__msg),
+                    ) => {
+                        panic!(
+                            "proptest {} failed at case {}/{}: {}\n  inputs: {}",
+                            stringify!($name),
+                            __case,
+                            __cfg.cases,
+                            __msg,
+                            __inputs
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { cfg = $cfg; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = TestRng::deterministic("bounds", 0);
+        for _ in 0..2_000 {
+            let v = (10u32..20).generate(&mut rng);
+            assert!((10..20).contains(&v));
+            let f = (-1.5f64..2.5).generate(&mut rng);
+            assert!((-1.5..2.5).contains(&f));
+            let i = (-5i16..5).generate(&mut rng);
+            assert!((-5..5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn vec_sizes_respect_spec() {
+        let mut rng = TestRng::deterministic("sizes", 1);
+        for _ in 0..500 {
+            let exact = crate::collection::vec(0u32..5, 7).generate(&mut rng);
+            assert_eq!(exact.len(), 7);
+            let ranged = crate::collection::vec(0u32..5, 2..6).generate(&mut rng);
+            assert!((2..6).contains(&ranged.len()));
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name_and_case() {
+        let mut a = TestRng::deterministic("x", 3);
+        let mut b = TestRng::deterministic("x", 3);
+        let mut c = TestRng::deterministic("x", 4);
+        assert_eq!(a.next_u64(), b.next_u64());
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(50))]
+
+        #[test]
+        fn macro_pipeline_works(
+            xs in prop::collection::vec(-100.0f64..100.0, 1..20)
+                .prop_filter("nonempty", |v| !v.is_empty()),
+            k in 1usize..5,
+        ) {
+            prop_assume!(xs.len() >= k);
+            let mapped = (0i32..10).prop_map(|v| v * 2);
+            let mut rng = TestRng::deterministic("inner", 0);
+            let even = Strategy::generate(&mapped, &mut rng);
+            prop_assert_eq!(even % 2, 0);
+            prop_assert!(xs.iter().all(|v| v.is_finite()), "finite inputs");
+            prop_assert_ne!(k, 0);
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline shim for the subset of `rand` 0.10 used by this workspace.
+//!
+//! The build environment has no access to crates.io, so the real `rand`
+//! crate cannot be downloaded. This shim reproduces only the pieces the
+//! workspace relies on: the infallible [`Rng`] trait (object-safe, used
+//! as `&mut dyn Rng` by the distribution samplers), the fallible
+//! [`TryRng`] trait that `vbr_stats::Xoshiro256` implements, the blanket
+//! `Rng for infallible TryRng` impl that `rand_core` provides, and the
+//! `rand_core::Infallible` re-export.
+//!
+//! Semantics match the real crate for everything implemented here; any
+//! API not used by the workspace is deliberately absent so that new uses
+//! fail loudly at compile time rather than silently diverging.
+
+/// Re-exports mirroring the `rand_core` facade of the real crate.
+pub mod rand_core {
+    /// The error type of random sources that cannot fail.
+    pub use core::convert::Infallible;
+}
+
+use rand_core::Infallible;
+
+/// A fallible random number source (mirror of `rand::TryRng`).
+pub trait TryRng {
+    /// Error produced when the source cannot yield randomness.
+    type Error;
+
+    /// Returns the next random `u32`, or an error.
+    fn try_next_u32(&mut self) -> Result<u32, Self::Error>;
+
+    /// Returns the next random `u64`, or an error.
+    fn try_next_u64(&mut self) -> Result<u64, Self::Error>;
+
+    /// Fills `dest` with random bytes, or returns an error.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Self::Error>;
+}
+
+/// An infallible random number source (mirror of `rand::Rng`).
+///
+/// Object-safe: the workspace's distribution samplers take
+/// `&mut dyn Rng`.
+pub trait Rng {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+/// Every infallible `TryRng` is an `Rng` — the blanket impl `rand_core`
+/// ships, reproduced here so `impl TryRng for Xoshiro256` is all a
+/// generator needs to join the ecosystem.
+impl<T: TryRng<Error = Infallible>> Rng for T {
+    fn next_u32(&mut self) -> u32 {
+        match self.try_next_u32() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        match self.try_next_u64() {
+            Ok(v) => v,
+            Err(e) => match e {},
+        }
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        match self.try_fill_bytes(dest) {
+            Ok(()) => (),
+            Err(e) => match e {},
+        }
+    }
+}
+
+impl Rng for &mut dyn Rng {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Counter(u64);
+
+    impl TryRng for Counter {
+        type Error = Infallible;
+
+        fn try_next_u32(&mut self) -> Result<u32, Infallible> {
+            Ok(self.try_next_u64()? as u32)
+        }
+
+        fn try_next_u64(&mut self) -> Result<u64, Infallible> {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            Ok(self.0)
+        }
+
+        fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Infallible> {
+            for b in dest {
+                *b = self.try_next_u64()? as u8;
+            }
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn blanket_impl_makes_infallible_sources_rng() {
+        let mut c = Counter(0);
+        let dynamic: &mut dyn Rng = &mut c;
+        assert_ne!(dynamic.next_u64(), dynamic.next_u64());
+        let mut buf = [0u8; 3];
+        dynamic.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+}
