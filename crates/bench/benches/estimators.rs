@@ -36,6 +36,50 @@ fn bench_variance_time(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_whittle_objective(c: &mut Criterion) {
+    // The golden-section search evaluates the objective ~200 times per
+    // estimate; compare the powf-per-frequency path against the
+    // precomputed log-table path for one full search's worth of evals.
+    let x = lrd_series(65_536);
+    let pg = vbr_stats::Periodogram::compute(&x);
+    let d_grid: Vec<f64> = (0..200).map(|i| 0.001 + 0.498 * i as f64 / 199.0).collect();
+    let mut g = c.benchmark_group("whittle_objective");
+    g.sample_size(10);
+    for model in [vbr_lrd::SpectralModel::Farima, vbr_lrd::SpectralModel::Fgn] {
+        g.bench_function(format!("direct_{model:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                d_grid
+                    .iter()
+                    .map(|&d| vbr_lrd::whittle_objective_direct(black_box(&pg), model, d))
+                    .sum::<f64>()
+            })
+        });
+        g.bench_function(format!("fast_{model:?}").to_lowercase(), |b| {
+            b.iter(|| {
+                let obj = vbr_lrd::WhittleObjective::new(black_box(&pg), model);
+                d_grid.iter().map(|&d| obj.eval(d)).sum::<f64>()
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_robust_ensemble(c: &mut Criterion) {
+    // The parallel ensemble at 1 worker vs the session's worker count.
+    let x = lrd_series(65_536);
+    let mut g = c.benchmark_group("robust_hurst");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            vbr_stats::par::with_threads(1, || vbr_lrd::robust_hurst(black_box(&x)).unwrap())
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| vbr_lrd::robust_hurst(black_box(&x)).unwrap())
+    });
+    g.finish();
+}
+
 fn bench_estimate_params(c: &mut Criterion) {
     // The full 4-parameter estimation pipeline of §4.2.
     let trace =
@@ -56,5 +100,11 @@ fn bench_estimate_params(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_variance_time, bench_estimate_params);
+criterion_group!(
+    benches,
+    bench_variance_time,
+    bench_whittle_objective,
+    bench_robust_ensemble,
+    bench_estimate_params
+);
 criterion_main!(benches);

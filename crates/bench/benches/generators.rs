@@ -30,6 +30,35 @@ fn bench_lrd_generators(c: &mut Criterion) {
         let gen = DaviesHarte::new(0.8, 1.0);
         b.iter(|| gen.generate(black_box(171_000), 1))
     });
+    // Repeated same-(H, n) generation hits the memoized circulant
+    // spectrum; a fresh H each call forces the full rebuild.
+    g.bench_function("davies_harte_171000_cold_spectrum", |b| {
+        let mut step = 0u64;
+        b.iter(|| {
+            step += 1;
+            let gen = DaviesHarte::new(0.8 + step as f64 * 1e-12, 1.0);
+            gen.generate(black_box(171_000), 1)
+        })
+    });
+    g.finish();
+}
+
+fn bench_screenplay_batch(c: &mut Criterion) {
+    // Multi-source generation: 4 sources serially vs on the worker pool.
+    let configs: Vec<ScreenplayConfig> =
+        (0..4).map(|i| ScreenplayConfig::short(10_000, 20 + i)).collect();
+    let mut g = c.benchmark_group("screenplay_batch");
+    g.sample_size(10);
+    g.bench_function("serial", |b| {
+        b.iter(|| {
+            vbr_stats::par::with_threads(1, || {
+                vbr_video::generate_screenplay_batch(black_box(&configs))
+            })
+        })
+    });
+    g.bench_function("parallel", |b| {
+        b.iter(|| vbr_video::generate_screenplay_batch(black_box(&configs)))
+    });
     g.finish();
 }
 
@@ -62,5 +91,11 @@ fn bench_end_to_end(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_lrd_generators, bench_marginal_transform, bench_end_to_end);
+criterion_group!(
+    benches,
+    bench_lrd_generators,
+    bench_screenplay_batch,
+    bench_marginal_transform,
+    bench_end_to_end
+);
 criterion_main!(benches);

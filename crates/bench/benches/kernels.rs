@@ -56,6 +56,33 @@ fn bench_periodogram(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_fft_plan(c: &mut Criterion) {
+    // The plan cache: rebuilding tables per call vs the cached hit.
+    let mut g = c.benchmark_group("fft_plan");
+    for &n in &[16_384usize, 262_144] {
+        let input: Vec<vbr_fft::Complex> = series(n)
+            .into_iter()
+            .map(vbr_fft::Complex::from_re)
+            .collect();
+        let mut buf = input.clone();
+        g.bench_with_input(BenchmarkId::new("cold_build", n), &n, |b, &n| {
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                let plan = vbr_fft::FftPlan::new(black_box(n));
+                plan.process(&mut buf, vbr_fft::Direction::Forward);
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("cached", n), &n, |b, &n| {
+            b.iter(|| {
+                buf.copy_from_slice(&input);
+                let plan = vbr_fft::plan_for(black_box(n));
+                plan.process(&mut buf, vbr_fft::Direction::Forward);
+            })
+        });
+    }
+    g.finish();
+}
+
 fn bench_special(c: &mut Criterion) {
     let mut g = c.benchmark_group("special_functions");
     g.bench_function("norm_quantile", |b| {
@@ -75,5 +102,12 @@ fn bench_special(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_fft, bench_acf, bench_periodogram, bench_special);
+criterion_group!(
+    benches,
+    bench_fft,
+    bench_fft_plan,
+    bench_acf,
+    bench_periodogram,
+    bench_special
+);
 criterion_main!(benches);

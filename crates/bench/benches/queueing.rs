@@ -57,6 +57,41 @@ fn bench_capacity_search(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_qc_sweep(c: &mut Criterion) {
+    // A Fig 14 curve: the T_max grid swept serially vs on the worker pool
+    // (each point is an independent bisection).
+    let trace = generate_screenplay(&ScreenplayConfig::short(10_000, 8));
+    let sim = MuxSim::new(&trace, 3, 3);
+    let grid = [0.0005, 0.002, 0.01, 0.05];
+    let mut g = c.benchmark_group("fig14_curve");
+    g.sample_size(10);
+    g.bench_function("qc_curve_serial", |b| {
+        b.iter(|| {
+            vbr_stats::par::with_threads(1, || {
+                vbr_qsim::qc_curve(
+                    black_box(&sim),
+                    &grid,
+                    LossTarget::Rate(1e-2),
+                    LossMetric::Overall,
+                    12,
+                )
+            })
+        })
+    });
+    g.bench_function("qc_curve_parallel", |b| {
+        b.iter(|| {
+            vbr_qsim::qc_curve(
+                black_box(&sim),
+                &grid,
+                LossTarget::Rate(1e-2),
+                LossMetric::Overall,
+                12,
+            )
+        })
+    });
+    g.finish();
+}
+
 fn bench_cell_sim(c: &mut Criterion) {
     // Cell-level (ATM) simulation of one source over a short trace.
     let trace = generate_screenplay(&ScreenplayConfig::short(2_000, 7));
@@ -78,5 +113,12 @@ fn bench_cell_sim(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_queue_pass, bench_raw_queue, bench_capacity_search, bench_cell_sim);
+criterion_group!(
+    benches,
+    bench_queue_pass,
+    bench_raw_queue,
+    bench_capacity_search,
+    bench_qc_sweep,
+    bench_cell_sim
+);
 criterion_main!(benches);

@@ -1,0 +1,458 @@
+//! End-to-end performance benchmark of the estimate → generate → queue
+//! pipeline, plus the serial-vs-parallel determinism gate.
+//!
+//! Two modes:
+//!
+//! - **full** (default): paper-scale workloads; writes the machine-readable
+//!   report to `BENCH_pipeline.json` (override with `--out <path>`).
+//! - **`--test`**: CI smoke mode — small workloads, no report file unless
+//!   `--out` is given. The determinism checks always run; any divergence
+//!   between serial and parallel output exits nonzero.
+//!
+//! The baselines are honest re-implementations of the pre-optimisation
+//! code paths (the drifting-twiddle FFT kernel, the `powf`-per-frequency
+//! Whittle objective, cold-plan / cold-cache calls, `with_threads(1)`
+//! runs), so every `speedup` field in the report is old-vs-new on the
+//! same machine and workload.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vbr_bench::perf::{time_median, PerfReport};
+use vbr_bench::{Corruption, FaultInjector};
+use vbr_fft::{fft_pow2_in_place, Complex, Direction, FftPlan};
+use vbr_fgn::DaviesHarte;
+use vbr_lrd::{
+    robust_hurst, whittle_objective_direct, SpectralModel, WhittleObjective,
+};
+use vbr_qsim::{qc_curve, LossMetric, LossTarget, MuxSim};
+use vbr_stats::par::{num_threads, with_threads};
+use vbr_stats::periodogram::Periodogram;
+use vbr_stats::rng::Xoshiro256;
+use vbr_video::{generate_screenplay, generate_screenplay_batch, ScreenplayConfig};
+
+/// Workload sizes for the two modes.
+struct Sizes {
+    fft_n: usize,
+    whittle_n: usize,
+    hurst_n: usize,
+    trace_frames: usize,
+    qc_grid: Vec<f64>,
+    qc_iters: usize,
+    reps: usize,
+}
+
+impl Sizes {
+    fn full() -> Sizes {
+        Sizes {
+            fft_n: 1 << 18,
+            whittle_n: 1 << 16,
+            hurst_n: 65_536,
+            trace_frames: 20_000,
+            qc_grid: vec![0.0005, 0.001, 0.002, 0.005, 0.01, 0.05],
+            qc_iters: 14,
+            reps: 5,
+        }
+    }
+
+    fn test() -> Sizes {
+        Sizes {
+            fft_n: 1 << 12,
+            whittle_n: 1 << 11,
+            hurst_n: 4_096,
+            trace_frames: 2_000,
+            qc_grid: vec![0.001, 0.01],
+            qc_iters: 6,
+            reps: 2,
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let mut test_mode = false;
+    let mut out: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--test" => test_mode = true,
+            "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            other => {
+                eprintln!("unknown argument: {other}");
+                eprintln!("usage: pipeline_bench [--test] [--out <path>]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let sizes = if test_mode { Sizes::test() } else { Sizes::full() };
+    let threads = num_threads();
+    println!(
+        "pipeline_bench: mode={}, worker threads={threads}",
+        if test_mode { "test" } else { "full" }
+    );
+
+    let divergences = check_determinism(&sizes);
+    if divergences > 0 {
+        eprintln!("FAIL: {divergences} serial-vs-parallel divergence(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("determinism: parallel output bit-identical to serial (threads 1/2/{threads})");
+
+    let mut report = PerfReport::new();
+    bench_kernels(&sizes, &mut report);
+    bench_estimators(&sizes, &mut report);
+    bench_simulation(&sizes, &mut report);
+    report.print_summary();
+
+    let path = out.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
+    if !test_mode || path.as_os_str() != "BENCH_pipeline.json" {
+        match report.write(&path, threads) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Determinism gate
+// ---------------------------------------------------------------------------
+
+/// Runs every parallelized stage at 1, 2 and `num_threads()` workers and
+/// counts stages whose output is not bit-identical across thread counts.
+fn check_determinism(sizes: &Sizes) -> usize {
+    let thread_grid = [1usize, 2, num_threads().max(4)];
+    let mut divergences = 0;
+
+    // Estimation: the full ensemble on a clean LRD series.
+    let xs = DaviesHarte::new(0.8, 1.0).generate(sizes.hurst_n, 11);
+    let hurst_sig = |t: usize| {
+        with_threads(t, || {
+            let r = robust_hurst(&xs).expect("clean series must estimate");
+            let mut sig: Vec<u64> = r.estimates.iter().map(|&(_, h)| h.to_bits()).collect();
+            sig.push(r.hurst.to_bits());
+            sig
+        })
+    };
+    divergences += compare_across("robust_hurst", &thread_grid, hurst_sig);
+
+    // Estimation under injected faults: degraded output (including which
+    // estimators failed) must not depend on the thread count.
+    let inj = FaultInjector::new(99);
+    let bad = inj.apply(&xs, Corruption::NegateRun);
+    let fault_sig = |t: usize| {
+        with_threads(t, || match robust_hurst(&bad) {
+            Ok(r) => {
+                let mut sig: Vec<String> =
+                    r.estimates.iter().map(|(k, h)| format!("{k:?}:{:016x}", h.to_bits())).collect();
+                sig.extend(r.failures.iter().map(|(k, e)| format!("{k:?}:{e:?}")));
+                sig
+            }
+            Err(e) => vec![format!("err:{e:?}")],
+        })
+    };
+    divergences += compare_across("robust_hurst_faulted", &thread_grid, fault_sig);
+
+    // Generation: the multi-source screenplay batch.
+    let configs = vec![
+        ScreenplayConfig::short(sizes.trace_frames / 2, 1),
+        ScreenplayConfig::short(sizes.trace_frames / 2, 2),
+        ScreenplayConfig::short(sizes.trace_frames / 2, 3),
+    ];
+    let batch_sig = |t: usize| with_threads(t, || generate_screenplay_batch(&configs));
+    divergences += compare_across("screenplay_batch", &thread_grid, batch_sig);
+
+    // Queueing: MuxSim metrics and a Q-C sweep.
+    let trace = generate_screenplay(&ScreenplayConfig::short(sizes.trace_frames, 4));
+    let sim = MuxSim::new(&trace, 3, 5);
+    let cap = sim.mean_rate() * 1.2;
+    let run_sig = |t: usize| {
+        with_threads(t, || {
+            let l = sim.run(cap, 0.002 * cap);
+            (l.p_l.to_bits(), l.p_wes.to_bits())
+        })
+    };
+    divergences += compare_across("mux_run", &thread_grid, run_sig);
+
+    let qc_sig = |t: usize| {
+        with_threads(t, || {
+            qc_curve(&sim, &sizes.qc_grid, LossTarget::Rate(1e-2), LossMetric::Overall, sizes.qc_iters)
+                .iter()
+                .map(|p| p.capacity_per_source.to_bits())
+                .collect::<Vec<u64>>()
+        })
+    };
+    divergences += compare_across("qc_curve", &thread_grid, qc_sig);
+
+    divergences
+}
+
+/// Evaluates `f` at each thread count and reports whether all results match.
+fn compare_across<T: PartialEq + std::fmt::Debug>(
+    what: &str,
+    grid: &[usize],
+    f: impl Fn(usize) -> T,
+) -> usize {
+    let reference = f(grid[0]);
+    for &t in &grid[1..] {
+        let got = f(t);
+        if got != reference {
+            eprintln!("divergence in {what}: threads={} differs from threads={}", t, grid[0]);
+            return 1;
+        }
+    }
+    0
+}
+
+// ---------------------------------------------------------------------------
+// Kernels tier
+// ---------------------------------------------------------------------------
+
+/// The pre-optimisation radix-2 kernel: twiddles accumulated by repeated
+/// multiplication (`w *= wlen`) and recomputed on every call. Kept here
+/// verbatim as the honest baseline for the plan-table kernel.
+fn legacy_fft_pow2(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let sign = match dir {
+        Direction::Forward => -1.0,
+        Direction::Inverse => 1.0,
+    };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::cis(ang);
+        for chunk in data.chunks_mut(len) {
+            let mut w = Complex::ONE;
+            let half = len / 2;
+            for i in 0..half {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+                w *= wlen;
+            }
+        }
+        len <<= 1;
+    }
+}
+
+fn bench_kernels(sizes: &Sizes, report: &mut PerfReport) {
+    let n = sizes.fft_n;
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let input: Vec<Complex> =
+        (0..n).map(|_| Complex::from_re(rng.standard_normal())).collect();
+
+    // Legacy accumulating kernel vs the plan-table kernel (cache warm).
+    let mut buf = input.clone();
+    let t_legacy = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&input);
+        legacy_fft_pow2(&mut buf, Direction::Forward);
+    });
+    let t_plan = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&input);
+        fft_pow2_in_place(&mut buf, Direction::Forward);
+    });
+    report.record_vs(
+        "kernels",
+        "fft_legacy_vs_plan_table",
+        t_legacy,
+        t_plan,
+        &format!("radix-2 forward FFT, n={n}; baseline recomputes twiddles by accumulation every call"),
+    );
+
+    // Cold plan construction vs the cached-plan hit for repeated sizes.
+    let t_cold = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&input);
+        let plan = FftPlan::new(n);
+        plan.process(&mut buf, Direction::Forward);
+    });
+    let t_cached = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&input);
+        let plan = vbr_fft::plan_for(n);
+        plan.process(&mut buf, Direction::Forward);
+    });
+    report.record_vs(
+        "kernels",
+        "fft_plan_cold_vs_cached",
+        t_cold,
+        t_cached,
+        &format!("same-size repeated FFT, n={n}; baseline rebuilds bit-rev + twiddle tables per call"),
+    );
+
+    // Davies-Harte with a cold spectrum cache vs the memoized path.
+    let gen_n = sizes.whittle_n;
+    let mut h_step = 0u64;
+    let t_cold_gen = time_median(1, sizes.reps, || {
+        // A fresh H each call defeats the (H, m) memo key, forcing the
+        // full ACVF + eigenvalue-FFT rebuild the cache normally skips.
+        h_step += 1;
+        let h = 0.8 + (h_step as f64) * 1e-12;
+        DaviesHarte::new(h, 1.0).generate(gen_n, 7);
+    });
+    let warm = DaviesHarte::new(0.8, 1.0);
+    warm.generate(gen_n, 7);
+    let t_warm_gen = time_median(1, sizes.reps, || {
+        warm.generate(gen_n, 7);
+    });
+    report.record_vs(
+        "kernels",
+        "davies_harte_cold_vs_memoized",
+        t_cold_gen,
+        t_warm_gen,
+        &format!("fGn generation, n={gen_n}; baseline rebuilds the circulant spectrum every call"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Estimators tier
+// ---------------------------------------------------------------------------
+
+fn bench_estimators(sizes: &Sizes, report: &mut PerfReport) {
+    let xs = DaviesHarte::new(0.8, 1.0).generate(sizes.whittle_n, 3);
+    let pg = Periodogram::compute(&xs);
+
+    // The golden-section search evaluates the objective ~200 times; time
+    // that many evaluations the old way (powf + ln per frequency, every
+    // evaluation) against the precomputed-table path.
+    let d_grid: Vec<f64> = (0..200).map(|i| 0.001 + 0.498 * i as f64 / 199.0).collect();
+    for model in [SpectralModel::Farima, SpectralModel::Fgn] {
+        let t_direct = time_median(1, sizes.reps, || {
+            let mut acc = 0.0;
+            for &d in &d_grid {
+                acc += whittle_objective_direct(&pg, model, d);
+            }
+            assert!(acc.is_finite());
+        });
+        let t_fast = time_median(1, sizes.reps, || {
+            let obj = WhittleObjective::new(&pg, model);
+            let mut acc = 0.0;
+            for &d in &d_grid {
+                acc += obj.eval(d);
+            }
+            assert!(acc.is_finite());
+        });
+        report.record_vs(
+            "estimators",
+            &format!("whittle_objective_{model:?}_direct_vs_fast").to_lowercase(),
+            t_direct,
+            t_fast,
+            &format!(
+                "200 objective evaluations (one search), n={}; fast path includes table build",
+                sizes.whittle_n
+            ),
+        );
+    }
+
+    // Ensemble estimator: serial vs worker pool.
+    let hs = DaviesHarte::new(0.8, 1.0).generate(sizes.hurst_n, 5);
+    let t_serial = time_median(0, sizes.reps, || {
+        with_threads(1, || {
+            robust_hurst(&hs).expect("estimation");
+        });
+    });
+    let t_par = time_median(0, sizes.reps, || {
+        robust_hurst(&hs).expect("estimation");
+    });
+    report.record_vs(
+        "estimators",
+        "robust_hurst_serial_vs_parallel",
+        t_serial,
+        t_par,
+        &format!(
+            "4-member ensemble, n={}; parallel at {} worker thread(s)",
+            sizes.hurst_n,
+            num_threads()
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Simulation tier
+// ---------------------------------------------------------------------------
+
+fn bench_simulation(sizes: &Sizes, report: &mut PerfReport) {
+    let trace = generate_screenplay(&ScreenplayConfig::short(sizes.trace_frames, 6));
+    let sim = MuxSim::new(&trace, 3, 7);
+    let cap = sim.mean_rate() * 1.2;
+
+    let t_run_serial = time_median(0, sizes.reps, || {
+        with_threads(1, || {
+            sim.run(cap, 0.002 * cap);
+        });
+    });
+    let t_run_par = time_median(0, sizes.reps, || {
+        sim.run(cap, 0.002 * cap);
+    });
+    report.record_vs(
+        "simulation",
+        "mux_run_serial_vs_parallel",
+        t_run_serial,
+        t_run_par,
+        &format!(
+            "6 lag combinations x {} slots; parallel at {} worker thread(s)",
+            trace.slice_bytes().len(),
+            num_threads()
+        ),
+    );
+
+    let t_qc_serial = time_median(0, 1.max(sizes.reps / 2), || {
+        with_threads(1, || {
+            qc_curve(&sim, &sizes.qc_grid, LossTarget::Rate(1e-2), LossMetric::Overall, sizes.qc_iters);
+        });
+    });
+    let t_qc_par = time_median(0, 1.max(sizes.reps / 2), || {
+        qc_curve(&sim, &sizes.qc_grid, LossTarget::Rate(1e-2), LossMetric::Overall, sizes.qc_iters);
+    });
+    report.record_vs(
+        "simulation",
+        "qc_sweep_serial_vs_parallel",
+        t_qc_serial,
+        t_qc_par,
+        &format!(
+            "{}-point T_max grid, {} bisection iterations each; parallel at {} worker thread(s)",
+            sizes.qc_grid.len(),
+            sizes.qc_iters,
+            num_threads()
+        ),
+    );
+
+    let configs: Vec<ScreenplayConfig> =
+        (0..4).map(|i| ScreenplayConfig::short(sizes.trace_frames / 2, 20 + i)).collect();
+    let t_batch_serial = time_median(0, 1.max(sizes.reps / 2), || {
+        with_threads(1, || {
+            generate_screenplay_batch(&configs);
+        });
+    });
+    let t_batch_par = time_median(0, 1.max(sizes.reps / 2), || {
+        generate_screenplay_batch(&configs);
+    });
+    report.record_vs(
+        "simulation",
+        "screenplay_batch_serial_vs_parallel",
+        t_batch_serial,
+        t_batch_par,
+        &format!(
+            "4 sources x {} frames; parallel at {} worker thread(s)",
+            sizes.trace_frames / 2,
+            num_threads()
+        ),
+    );
+}

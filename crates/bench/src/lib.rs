@@ -11,8 +11,10 @@ use vbr_video::{generate_screenplay, ScreenplayConfig, Trace};
 
 pub mod experiments;
 pub mod faults;
+pub mod perf;
 
 pub use faults::{Corruption, FaultInjector};
+pub use perf::{time_median, PerfEntry, PerfReport};
 
 /// Execution context shared by every experiment.
 pub struct Ctx {

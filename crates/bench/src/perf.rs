@@ -1,0 +1,227 @@
+//! Wall-clock measurement and JSON reporting for the pipeline benchmark
+//! binary (`pipeline_bench`).
+//!
+//! The workspace has no serde, so the report is hand-rolled JSON: a flat
+//! list of entries, each with a measured median time, an optional
+//! baseline it is compared against, and the resulting speedup. The
+//! Criterion benches (`cargo bench`) remain the fine-grained view; this
+//! module exists so a single binary can emit one machine-readable
+//! before/after file (`BENCH_pipeline.json`) that CI checks in.
+
+use std::fmt::Write as _;
+use std::io;
+use std::path::Path;
+use std::time::Instant;
+
+/// Times `f` for `reps` repetitions after `warmup` untimed runs and
+/// returns the median wall-clock seconds of a single run.
+pub fn time_median<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> f64 {
+    assert!(reps >= 1);
+    for _ in 0..warmup {
+        f();
+    }
+    let mut samples = Vec::with_capacity(reps);
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        f();
+        samples.push(t0.elapsed().as_secs_f64());
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    samples[samples.len() / 2]
+}
+
+/// One benchmark result: a measured time, optionally compared to a
+/// baseline measurement of the same work done the old/serial way.
+#[derive(Debug, Clone)]
+pub struct PerfEntry {
+    /// Tier the entry belongs to (`kernels`, `estimators`, `simulation`).
+    pub group: String,
+    /// Benchmark name.
+    pub name: String,
+    /// Median seconds of the measured (new/parallel) path.
+    pub secs: f64,
+    /// Median seconds of the baseline (old/serial) path, if compared.
+    pub baseline_secs: Option<f64>,
+    /// Free-form description of the workload and what is compared.
+    pub note: String,
+}
+
+impl PerfEntry {
+    /// `baseline_secs / secs`, when a baseline was measured.
+    pub fn speedup(&self) -> Option<f64> {
+        self.baseline_secs.map(|b| b / self.secs)
+    }
+}
+
+/// The full report written as `BENCH_pipeline.json`.
+#[derive(Debug, Default)]
+pub struct PerfReport {
+    entries: Vec<PerfEntry>,
+}
+
+impl PerfReport {
+    /// Empty report.
+    pub fn new() -> Self {
+        PerfReport::default()
+    }
+
+    /// Records a standalone timing.
+    pub fn record(&mut self, group: &str, name: &str, secs: f64, note: &str) {
+        self.entries.push(PerfEntry {
+            group: group.to_string(),
+            name: name.to_string(),
+            secs,
+            baseline_secs: None,
+            note: note.to_string(),
+        });
+    }
+
+    /// Records a baseline-vs-new comparison.
+    pub fn record_vs(
+        &mut self,
+        group: &str,
+        name: &str,
+        baseline_secs: f64,
+        secs: f64,
+        note: &str,
+    ) {
+        self.entries.push(PerfEntry {
+            group: group.to_string(),
+            name: name.to_string(),
+            secs,
+            baseline_secs: Some(baseline_secs),
+            note: note.to_string(),
+        });
+    }
+
+    /// The recorded entries.
+    pub fn entries(&self) -> &[PerfEntry] {
+        &self.entries
+    }
+
+    /// Serialises the report (plus host metadata) to pretty JSON.
+    pub fn to_json(&self, host_threads: usize) -> String {
+        let mut s = String::new();
+        s.push_str("{\n");
+        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v1\",");
+        let _ = writeln!(s, "  \"host_threads\": {host_threads},");
+        s.push_str("  \"entries\": [\n");
+        for (i, e) in self.entries.iter().enumerate() {
+            s.push_str("    {\n");
+            let _ = writeln!(s, "      \"group\": {},", json_str(&e.group));
+            let _ = writeln!(s, "      \"name\": {},", json_str(&e.name));
+            let _ = writeln!(s, "      \"secs\": {},", json_f64(e.secs));
+            match e.baseline_secs {
+                Some(b) => {
+                    let _ = writeln!(s, "      \"baseline_secs\": {},", json_f64(b));
+                    let _ = writeln!(
+                        s,
+                        "      \"speedup\": {},",
+                        json_f64(e.speedup().unwrap())
+                    );
+                }
+                None => {
+                    s.push_str("      \"baseline_secs\": null,\n");
+                    s.push_str("      \"speedup\": null,\n");
+                }
+            }
+            let _ = writeln!(s, "      \"note\": {}", json_str(&e.note));
+            s.push_str(if i + 1 == self.entries.len() { "    }\n" } else { "    },\n" });
+        }
+        s.push_str("  ]\n}\n");
+        s
+    }
+
+    /// Writes the JSON report to `path`.
+    pub fn write(&self, path: &Path, host_threads: usize) -> io::Result<()> {
+        std::fs::write(path, self.to_json(host_threads))
+    }
+
+    /// Prints a human-readable summary table to stdout.
+    pub fn print_summary(&self) {
+        println!("{:<12} {:<42} {:>12} {:>12} {:>8}", "group", "name", "secs", "baseline", "speedup");
+        for e in &self.entries {
+            let base = e
+                .baseline_secs
+                .map(|b| format!("{b:.6}"))
+                .unwrap_or_else(|| "-".to_string());
+            let sp = e
+                .speedup()
+                .map(|v| format!("{v:.2}x"))
+                .unwrap_or_else(|| "-".to_string());
+            println!("{:<12} {:<42} {:>12.6} {:>12} {:>8}", e.group, e.name, e.secs, base, sp);
+        }
+    }
+}
+
+/// Escapes a string as a JSON string literal (ASCII control chars only —
+/// benchmark names and notes are plain ASCII by construction).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Finite f64 as JSON (JSON has no NaN/Inf; those become null).
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v:.9}")
+    } else {
+        "null".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn time_median_returns_positive_seconds() {
+        let t = time_median(1, 3, || {
+            let v: f64 = (0..1000).map(|i| (i as f64).sqrt()).sum();
+            assert!(v > 0.0);
+        });
+        assert!(t > 0.0 && t < 1.0);
+    }
+
+    #[test]
+    fn json_report_shape() {
+        let mut r = PerfReport::new();
+        r.record("kernels", "fft", 0.5, "plain");
+        r.record_vs("estimators", "whittle", 1.0, 0.25, "note \"quoted\"");
+        let j = r.to_json(4);
+        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v1\""));
+        assert!(j.contains("\"host_threads\": 4"));
+        assert!(j.contains("\"speedup\": 4.000000000"));
+        assert!(j.contains("\\\"quoted\\\""));
+        assert!(j.contains("\"baseline_secs\": null"));
+        // Balanced braces/brackets — parseable shape.
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn speedup_math() {
+        let e = PerfEntry {
+            group: "g".into(),
+            name: "n".into(),
+            secs: 0.5,
+            baseline_secs: Some(2.0),
+            note: String::new(),
+        };
+        assert_eq!(e.speedup(), Some(4.0));
+    }
+}

@@ -25,12 +25,14 @@
 pub mod bluestein;
 pub mod complex;
 pub mod convolve;
+pub mod plan;
 pub mod radix2;
 pub mod real;
 
 pub use bluestein::fft_any;
 pub use complex::Complex;
 pub use convolve::{autocorr_sums, convolve};
+pub use plan::{plan_for, FftPlan};
 pub use radix2::{fft_pow2_in_place, is_pow2, next_pow2, Direction};
 pub use real::{fft_real, ifft_real, power_spectrum};
 

@@ -1,0 +1,215 @@
+//! Precomputed radix-2 FFT plans and a thread-safe plan cache.
+//!
+//! The original kernel recomputed its twiddle factors on every call by
+//! repeated multiplication (`w *= wlen`), which both costs a complex
+//! multiply per butterfly and accumulates rounding error that grows with
+//! the transform length. An [`FftPlan`] precomputes, once per size,
+//!
+//! - the bit-reversal permutation table, and
+//! - every per-stage twiddle factor, each evaluated *directly* from
+//!   `sin`/`cos` (no accumulation — the worst-case twiddle error is one
+//!   ulp regardless of `n`),
+//!
+//! and [`plan_for`] memoizes plans in a global mutex-guarded map so the
+//! analysis pipeline — which transforms the same handful of sizes
+//! thousands of times (periodograms, Whittle sweeps, Davies–Harte
+//! synthesis, Bluestein convolutions) — pays the setup cost once.
+
+use crate::complex::Complex;
+use crate::radix2::{is_pow2, Direction};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A reusable execution plan for radix-2 FFTs of one fixed size.
+#[derive(Debug, Clone)]
+pub struct FftPlan {
+    n: usize,
+    /// `bit_rev[i]` = bit-reversed index of `i` (length `n`).
+    bit_rev: Vec<u32>,
+    /// Forward twiddles, flattened stage-major: for the stage with
+    /// butterfly span `len = 2^(s+1)` the table holds
+    /// `w_i = exp(-2πi·i/len)` for `i in 0..len/2`, so the stage offsets
+    /// are `0, 1, 3, 7, … (2^s − 1)` and the total length is `n − 1`.
+    /// Inverse transforms conjugate on the fly.
+    twiddles: Vec<Complex>,
+}
+
+impl FftPlan {
+    /// Builds a plan for transforms of length `n` (a power of two).
+    pub fn new(n: usize) -> FftPlan {
+        assert!(is_pow2(n), "FFT plans require a power-of-two length, got {n}");
+        assert!(n <= u32::MAX as usize, "FFT plan size {n} exceeds table range");
+
+        let mut bit_rev = vec![0u32; n];
+        let mut j = 0usize;
+        for r in bit_rev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            *r = j as u32;
+        }
+
+        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
+        let mut len = 2usize;
+        while len <= n {
+            let half = len / 2;
+            let step = -2.0 * std::f64::consts::PI / len as f64;
+            for i in 0..half {
+                twiddles.push(Complex::cis(step * i as f64));
+            }
+            len <<= 1;
+        }
+
+        FftPlan { n, bit_rev, twiddles }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-zero plan (never constructed by
+    /// [`FftPlan::new`], which requires a power of two ≥ 1).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place transform of `data` (length must equal the plan size).
+    pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "plan is for length {n}, got {}", data.len());
+        if n <= 1 {
+            return;
+        }
+
+        for i in 1..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+
+        let forward = dir == Direction::Forward;
+        let mut len = 2usize;
+        let mut stage_base = 0usize;
+        while len <= n {
+            let half = len / 2;
+            let stage = &self.twiddles[stage_base..stage_base + half];
+            for chunk in data.chunks_mut(len) {
+                for (i, &tw) in stage.iter().enumerate() {
+                    let w = if forward { tw } else { tw.conj() };
+                    let u = chunk[i];
+                    let v = chunk[i + half] * w;
+                    chunk[i] = u + v;
+                    chunk[i + half] = u - v;
+                }
+            }
+            stage_base += half;
+            len <<= 1;
+        }
+    }
+}
+
+/// Plans are dropped (and lazily rebuilt) once the cache holds this many
+/// distinct sizes; a plan costs ~20 bytes/point, so the bound keeps the
+/// cache under a few hundred MB even at the 2^20 paper scale.
+const MAX_CACHED_PLANS: usize = 32;
+
+fn cache() -> &'static Mutex<HashMap<usize, Arc<FftPlan>>> {
+    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Returns the shared plan for length `n` (a power of two), building and
+/// caching it on first use. Thread-safe; the lock is held only for the
+/// map lookup, never during plan construction or execution.
+pub fn plan_for(n: usize) -> Arc<FftPlan> {
+    assert!(is_pow2(n), "FFT plans require a power-of-two length, got {n}");
+    if let Some(plan) = cache().lock().expect("FFT plan cache poisoned").get(&n) {
+        return Arc::clone(plan);
+    }
+    // Built outside the lock: concurrent first callers may race to build
+    // the same plan, but the loser's copy is simply dropped.
+    let plan = Arc::new(FftPlan::new(n));
+    let mut map = cache().lock().expect("FFT plan cache poisoned");
+    if map.len() >= MAX_CACHED_PLANS {
+        map.clear();
+    }
+    Arc::clone(map.entry(n).or_insert(plan))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::radix2::fft_pow2_in_place;
+
+    #[test]
+    fn plan_matches_kernel_for_all_small_sizes() {
+        for &n in &[1usize, 2, 4, 8, 64, 512, 4096] {
+            let x: Vec<Complex> = (0..n)
+                .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+                .collect();
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut via_plan = x.clone();
+                plan_for(n).process(&mut via_plan, dir);
+                let mut via_kernel = x.clone();
+                fft_pow2_in_place(&mut via_kernel, dir);
+                assert_eq!(via_plan, via_kernel, "n={n} {dir:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn cache_returns_same_plan() {
+        let a = plan_for(1024);
+        let b = plan_for(1024);
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(a.len(), 1024);
+    }
+
+    #[test]
+    fn twiddle_table_layout() {
+        let p = FftPlan::new(8);
+        // Stages of length 2, 4, 8 hold 1 + 2 + 4 = 7 twiddles.
+        assert_eq!(p.twiddles.len(), 7);
+        // Every stage starts at w_0 = 1.
+        for &base in &[0usize, 1, 3] {
+            assert!((p.twiddles[base] - Complex::ONE).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        FftPlan::new(12);
+    }
+
+    #[test]
+    fn round_trip_accuracy_at_2_pow_20() {
+        // The satellite regression for the twiddle-drift fix: with the
+        // old accumulated twiddles (`w *= wlen`), a 2^20-point transform
+        // drifts visibly; direct tables keep the round-trip at the
+        // few-ulp level. Tolerance is per-point relative to the signal
+        // scale, far below what accumulation error allowed.
+        let n = 1 << 20;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| {
+                let t = i as f64;
+                Complex::new((t * 0.001).sin() + 0.25 * (t * 0.013).cos(), (t * 0.007).cos())
+            })
+            .collect();
+        let plan = plan_for(n);
+        let mut y = x.clone();
+        plan.process(&mut y, Direction::Forward);
+        plan.process(&mut y, Direction::Inverse);
+        let scale = 1.0 / n as f64;
+        let mut worst = 0.0f64;
+        for (orig, got) in x.iter().zip(&y) {
+            worst = worst.max((*orig - got.scale(scale)).abs());
+        }
+        assert!(worst < 1e-10, "2^20 round-trip error {worst}");
+    }
+}

@@ -28,54 +28,19 @@ pub fn next_pow2(n: usize) -> usize {
 }
 
 /// In-place radix-2 FFT. Panics if `data.len()` is not a power of two.
+///
+/// Executes through the shared [`crate::plan::FftPlan`] cache: the
+/// bit-reversal table and per-stage twiddle factors are precomputed once
+/// per size (twiddles evaluated directly from `sin`/`cos`, so there is
+/// no accumulated rounding drift at large `n`), then reused by every
+/// subsequent same-size call from any thread.
 pub fn fft_pow2_in_place(data: &mut [Complex], dir: Direction) {
     let n = data.len();
     assert!(is_pow2(n), "radix-2 FFT requires a power-of-two length, got {n}");
     if n <= 1 {
         return;
     }
-
-    bit_reverse_permute(data);
-
-    let sign = match dir {
-        Direction::Forward => -1.0,
-        Direction::Inverse => 1.0,
-    };
-
-    let mut len = 2;
-    while len <= n {
-        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
-        let wlen = Complex::cis(ang);
-        for chunk in data.chunks_mut(len) {
-            let mut w = Complex::ONE;
-            let half = len / 2;
-            for i in 0..half {
-                let u = chunk[i];
-                let v = chunk[i + half] * w;
-                chunk[i] = u + v;
-                chunk[i + half] = u - v;
-                w *= wlen;
-            }
-        }
-        len <<= 1;
-    }
-}
-
-/// Bit-reversal permutation of a power-of-two-length slice.
-fn bit_reverse_permute(data: &mut [Complex]) {
-    let n = data.len();
-    let mut j = 0usize;
-    for i in 1..n {
-        let mut bit = n >> 1;
-        while j & bit != 0 {
-            j ^= bit;
-            bit >>= 1;
-        }
-        j |= bit;
-        if i < j {
-            data.swap(i, j);
-        }
-    }
+    crate::plan::plan_for(n).process(data, dir);
 }
 
 #[cfg(test)]

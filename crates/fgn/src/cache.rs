@@ -1,0 +1,128 @@
+//! Memoization of the deterministic pre-work of LRD generation.
+//!
+//! The expensive but *input-independent* parts of a Davies–Harte or
+//! Hosking generation — the theoretical autocovariance sequence and, for
+//! circulant embedding, the eigenvalue spectrum (one `O(m log m)` FFT) —
+//! depend only on `(H, n)`. Workloads like the MuxSim sweeps, the
+//! robust-estimator benchmarks and batch screenplay generation call the
+//! generators many times with identical parameters, so these caches turn
+//! every repeat into a hash lookup. Keys use the exact bit pattern of
+//! the float parameter: two `H` values compare equal iff the uncached
+//! computation would be identical, so caching can never change output.
+//!
+//! Caches are process-global, mutex-guarded and size-bounded (entries at
+//! the paper scale run to megabytes); eviction simply clears the map —
+//! entries are pure functions of their key and rebuild on demand.
+
+use crate::acvf::{farima_acf, fgn_acvf};
+use crate::davies_harte::circulant_spectrum;
+use crate::error::FgnError;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Per-cache entry bound: ACVF/spectrum vectors at the 171k-frame paper
+/// scale are ~8 MB each, so a handful of distinct (H, n) pairs is all a
+/// realistic workload holds at once.
+const MAX_ENTRIES: usize = 16;
+
+type Key = (u64, usize);
+type VecCache = Mutex<HashMap<Key, Arc<Vec<f64>>>>;
+
+fn fgn_acvf_cache() -> &'static VecCache {
+    static C: OnceLock<VecCache> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn farima_acf_cache() -> &'static VecCache {
+    static C: OnceLock<VecCache> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn spectrum_cache() -> &'static VecCache {
+    static C: OnceLock<VecCache> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+fn memoize(cache: &'static VecCache, key: Key, build: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {
+    if let Some(hit) = cache.lock().expect("acvf cache poisoned").get(&key) {
+        return Arc::clone(hit);
+    }
+    // Built outside the lock; racing first callers each build once and
+    // the map keeps whichever arrived first (they are identical).
+    let value = Arc::new(build());
+    let mut map = cache.lock().expect("acvf cache poisoned");
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    Arc::clone(map.entry(key).or_insert(value))
+}
+
+/// Memoized [`fgn_acvf`]: autocovariances `γ_0..=γ_max_lag` of
+/// unit-variance fGn, shared across repeat calls with the same
+/// `(hurst, max_lag)`.
+pub fn fgn_acvf_cached(hurst: f64, max_lag: usize) -> Arc<Vec<f64>> {
+    memoize(fgn_acvf_cache(), (hurst.to_bits(), max_lag), || fgn_acvf(hurst, max_lag))
+}
+
+/// Memoized [`farima_acf`]: autocorrelations `ρ_0..=ρ_max_lag` of
+/// fractional ARIMA(0, d, 0), shared across repeat calls — Hosking's
+/// `O(n²)` recursion re-reads the whole sequence every generation.
+pub fn farima_acf_cached(d: f64, max_lag: usize) -> Arc<Vec<f64>> {
+    memoize(farima_acf_cache(), (d.to_bits(), max_lag), || farima_acf(d, max_lag))
+}
+
+/// Memoized circulant eigenvalue spectrum for fGn embedding: the
+/// composition `circulant_spectrum(&fgn_acvf(hurst, m/2))` — an `O(m)`
+/// autocovariance build plus an `O(m log m)` FFT — computed once per
+/// `(hurst, m)` and then shared. `m` is the (power-of-two) circulant
+/// size. The fGn embedding is provably PSD, so the error branch only
+/// fires on FFT round-off beyond the clamp tolerance; failures are not
+/// cached.
+pub fn fgn_circulant_spectrum_cached(hurst: f64, m: usize) -> Result<Arc<Vec<f64>>, FgnError> {
+    let key = (hurst.to_bits(), m);
+    if let Some(hit) = spectrum_cache().lock().expect("acvf cache poisoned").get(&key) {
+        return Ok(Arc::clone(hit));
+    }
+    let gamma = fgn_acvf_cached(hurst, m / 2);
+    let spectrum = Arc::new(circulant_spectrum(&gamma)?);
+    let mut map = spectrum_cache().lock().expect("acvf cache poisoned");
+    if map.len() >= MAX_ENTRIES {
+        map.clear();
+    }
+    Ok(Arc::clone(map.entry(key).or_insert(spectrum)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_acvf_matches_uncached() {
+        for &(h, n) in &[(0.6, 100usize), (0.8, 4096), (0.3, 33)] {
+            assert_eq!(*fgn_acvf_cached(h, n), fgn_acvf(h, n));
+        }
+        for &(d, n) in &[(0.3, 100usize), (0.0, 50)] {
+            assert_eq!(*farima_acf_cached(d, n), farima_acf(d, n));
+        }
+    }
+
+    #[test]
+    fn repeat_lookups_share_storage() {
+        let a = fgn_acvf_cached(0.77, 2048);
+        let b = fgn_acvf_cached(0.77, 2048);
+        assert!(Arc::ptr_eq(&a, &b));
+        // A different H (even by one ulp) is a different entry.
+        let c = fgn_acvf_cached(0.77 + f64::EPSILON, 2048);
+        assert!(!Arc::ptr_eq(&a, &c));
+    }
+
+    #[test]
+    fn cached_spectrum_matches_direct_composition() {
+        let m = 1024;
+        let direct = circulant_spectrum(&fgn_acvf(0.8, m / 2)).unwrap();
+        let cached = fgn_circulant_spectrum_cached(0.8, m).unwrap();
+        assert_eq!(*cached, direct);
+        let again = fgn_circulant_spectrum_cached(0.8, m).unwrap();
+        assert!(Arc::ptr_eq(&cached, &again));
+    }
+}

@@ -7,7 +7,6 @@
 //! with one FFT, and synthesise a Gaussian vector with exactly the target
 //! covariance.
 
-use crate::acvf::fgn_acvf;
 use crate::error::FgnError;
 use vbr_fft::{fft_pow2_in_place, next_pow2, Complex, Direction};
 use vbr_stats::rng::Xoshiro256;
@@ -123,10 +122,11 @@ impl DaviesHarte {
         }
 
         // Embed in a circulant of even size m ≥ 2(n−1), power of two for
-        // the radix-2 kernel.
+        // the radix-2 kernel. The spectrum (ACVF build + eigenvalue FFT)
+        // depends only on (H, m), so repeat generations hit the memo.
         let m = next_pow2(2 * (n - 1)).max(2);
-        let gamma = fgn_acvf(self.hurst, m / 2);
-        Ok(synthesise_from_spectrum(&circulant_spectrum(&gamma)?, n, self.variance.sqrt(), rng))
+        let lambda = crate::cache::fgn_circulant_spectrum_cached(self.hurst, m)?;
+        Ok(synthesise_from_spectrum(&lambda, n, self.variance.sqrt(), rng))
     }
 
     /// Generates `n` points of a zero-mean Gaussian series with the
@@ -198,6 +198,7 @@ pub fn fbm_path(fgn: &[f64]) -> Vec<f64> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::acvf::fgn_acvf;
     use vbr_stats::acf::autocorrelation;
 
     #[test]

@@ -7,7 +7,7 @@
 //! the paper reports 10 hours for 171 000 points on a 1994 workstation;
 //! see [`crate::davies_harte`] for the `O(n log n)` alternative.
 
-use crate::acvf::{farima_acf, hurst_to_d};
+use crate::acvf::hurst_to_d;
 use vbr_stats::rng::Xoshiro256;
 
 /// Exact fractional ARIMA(0, d, 0) generator.
@@ -56,7 +56,9 @@ impl Hosking {
         if n == 0 {
             return Vec::new();
         }
-        let rho = farima_acf(self.d, n);
+        // Memoized: the ACF depends only on (d, n), and the O(n²)
+        // recursion below re-reads it in full on every generation.
+        let rho = crate::cache::farima_acf_cached(self.d, n);
 
         let mut x = Vec::with_capacity(n);
         // X_0 ~ N(0, v_0).
@@ -108,6 +110,7 @@ impl Hosking {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::acvf::farima_acf;
     use vbr_stats::acf::autocorrelation;
 
     #[test]

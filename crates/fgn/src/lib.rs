@@ -27,6 +27,7 @@
 
 pub mod acvf;
 pub mod arma;
+pub mod cache;
 pub mod davies_harte;
 pub mod error;
 pub mod hosking;
@@ -35,6 +36,7 @@ pub mod robust;
 
 pub use acvf::{farima_acf, fgn_acvf, hurst_to_d};
 pub use arma::{arma_noise, yule_walker, ArmaFilter};
+pub use cache::{farima_acf_cached, fgn_acvf_cached, fgn_circulant_spectrum_cached};
 pub use davies_harte::{circulant_spectrum, fbm_path, DaviesHarte};
 pub use error::FgnError;
 pub use hosking::Hosking;

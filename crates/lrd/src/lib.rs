@@ -43,5 +43,6 @@ pub use variance_time::{try_variance_time, variance_time, VarianceTime, VtOption
 pub use wavelet::{logscale_diagram, wavelet_hurst, LogscaleDiagram, WaveletEstimate};
 pub use whittle::{
     try_whittle, try_whittle_log, try_whittle_with, whittle, whittle_aggregated,
-    whittle_aggregated_with, whittle_log, whittle_with, SpectralModel, WhittleEstimate,
+    whittle_aggregated_with, whittle_log, whittle_objective_direct, whittle_with,
+    SpectralModel, WhittleEstimate, WhittleObjective,
 };

@@ -121,24 +121,34 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
     check_non_constant(xs)?;
 
     let n = xs.len();
-    let attempts: Vec<(EstimatorKind, Result<f64, LrdError>)> = vec![
-        (
-            EstimatorKind::Whittle,
-            try_whittle_with(xs, opts.spectral_model).map(|e| e.hurst),
-        ),
-        (
-            EstimatorKind::LocalWhittle,
-            try_local_whittle(xs, opts.bandwidth).map(|e| e.hurst),
-        ),
-        (
-            EstimatorKind::RsAnalysis,
-            try_rs_analysis(xs, &adaptive_rs_options(n)).map(|e| e.hurst),
-        ),
-        (
-            EstimatorKind::VarianceTime,
-            try_variance_time(xs, &adaptive_vt_options(n)).map(|e| e.hurst),
-        ),
+    // The four ensemble members are independent; run them on the worker
+    // pool. par_map returns results in chain order regardless of which
+    // thread finishes first, so the headline choice (first success in
+    // chain order) is identical to the serial run.
+    const CHAIN: [EstimatorKind; 4] = [
+        EstimatorKind::Whittle,
+        EstimatorKind::LocalWhittle,
+        EstimatorKind::RsAnalysis,
+        EstimatorKind::VarianceTime,
     ];
+    let attempts: Vec<(EstimatorKind, Result<f64, LrdError>)> =
+        vbr_stats::par::par_map(&CHAIN, |&kind| {
+            let outcome = match kind {
+                EstimatorKind::Whittle => {
+                    try_whittle_with(xs, opts.spectral_model).map(|e| e.hurst)
+                }
+                EstimatorKind::LocalWhittle => {
+                    try_local_whittle(xs, opts.bandwidth).map(|e| e.hurst)
+                }
+                EstimatorKind::RsAnalysis => {
+                    try_rs_analysis(xs, &adaptive_rs_options(n)).map(|e| e.hurst)
+                }
+                EstimatorKind::VarianceTime => {
+                    try_variance_time(xs, &adaptive_vt_options(n)).map(|e| e.hurst)
+                }
+            };
+            (kind, outcome)
+        });
 
     let mut estimates = Vec::new();
     let mut failures = Vec::new();

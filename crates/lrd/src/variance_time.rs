@@ -69,18 +69,18 @@ pub fn try_variance_time(xs: &[f64], opts: &VtOptions) -> Result<VarianceTime, L
         return Err(vbr_stats::error::DataError::ZeroVariance.into());
     }
 
-    let mut block_sizes = Vec::with_capacity(grid.len());
-    let mut norm_var = Vec::with_capacity(grid.len());
-    for &m in &grid {
+    // Pre-filter the ascending grid to block sizes that keep ≥ 5 blocks
+    // (aggregate drops the trailing partial block, so its length is
+    // exactly n/m) — the same cut-off the serial early-break made — then
+    // compute the per-m aggregations on the worker pool. par_map keeps
+    // grid order, so the curve matches the serial one bit for bit.
+    let block_sizes: Vec<usize> = grid.into_iter().filter(|&m| n / m >= 5).collect();
+    let norm_var: Vec<f64> = vbr_stats::par::par_map(&block_sizes, |&m| {
         let agg = aggregate(xs, m);
-        if agg.len() < 5 {
-            break;
-        }
         let mean = agg.iter().sum::<f64>() / agg.len() as f64;
         let v = agg.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / agg.len() as f64;
-        block_sizes.push(m);
-        norm_var.push(v / total_var);
-    }
+        v / total_var
+    });
 
     // Fit ln(normalised variance) against ln m over m ≥ fit_min_m.
     let pairs: (Vec<f64>, Vec<f64>) = block_sizes

@@ -42,6 +42,9 @@ pub enum SpectralModel {
     Fgn,
 }
 
+/// Number of aliasing terms in the truncated fGn spectral sum.
+const FGN_ALIAS_TERMS: usize = 10;
+
 /// Parametric spectral shape at frequency `omega` for differencing
 /// parameter `d` (H = d + ½); unit scale — the Whittle scale is profiled
 /// out so only the shape matters.
@@ -52,7 +55,7 @@ fn spectral_shape(model: SpectralModel, omega: f64, d: f64) -> f64 {
             let h = d + 0.5;
             let e = 2.0 * h + 1.0;
             let mut b = 0.0;
-            const J: usize = 10;
+            const J: usize = FGN_ALIAS_TERMS;
             for j in 1..=J {
                 let t = 2.0 * std::f64::consts::PI * j as f64;
                 b += (t + omega).powf(-e) + (t - omega).powf(-e);
@@ -66,8 +69,15 @@ fn spectral_shape(model: SpectralModel, omega: f64, d: f64) -> f64 {
     }
 }
 
-/// The profiled Whittle objective.
-fn whittle_objective(pg: &Periodogram, model: SpectralModel, d: f64) -> f64 {
+/// The profiled Whittle objective, evaluated directly from
+/// [`spectral_shape`] with no precomputation.
+///
+/// This is the reference implementation: the golden-section search uses
+/// [`WhittleObjective`], whose per-frequency log tables make each
+/// evaluation a fused multiply-add + `exp` pass instead of `powf` + `ln`
+/// per frequency. Kept public so tests and benchmarks can pin the fast
+/// path against it.
+pub fn whittle_objective_direct(pg: &Periodogram, model: SpectralModel, d: f64) -> f64 {
     let m = pg.len() as f64;
     let mut ratio_sum = 0.0;
     let mut log_sum = 0.0;
@@ -77,6 +87,121 @@ fn whittle_objective(pg: &Periodogram, model: SpectralModel, d: f64) -> f64 {
         log_sum += f.ln();
     }
     (ratio_sum / m).ln() + log_sum / m
+}
+
+/// Precomputed per-frequency tables for fast repeated evaluation of the
+/// profiled Whittle objective at different `d` — the hot path of the
+/// golden-section search, which evaluates the objective ~100 times over
+/// the same periodogram.
+///
+/// For the fARIMA model `ln f_j(d) = −2d·ln|2 sin(ω_j/2)|`, so with
+/// `s_j = ln|2 sin(ω_j/2)|` cached the per-frequency work collapses to a
+/// single `exp`: `I_j/f_j = I_j·e^{2d·s_j}`, and `Σ ln f_j` is just
+/// `−2d·Σ s_j` (no per-frequency work at all). For the fGn model each
+/// `(t ± ω)^{−e}` power becomes `e^{−e·ln(t±ω)}` over cached logs —
+/// replacing every `powf` (an `ln` + `exp` internally) with one `exp`.
+pub struct WhittleObjective {
+    model: SpectralModel,
+    /// Periodogram ordinates `I_j`.
+    power: Vec<f64>,
+    /// fARIMA: `s_j = ln|2 sin(ω_j/2)|` per frequency.
+    ln_two_sin_half: Vec<f64>,
+    /// fARIMA: `Σ_j s_j`.
+    sum_ln_two_sin_half: f64,
+    /// fGn: `1 − cos ω_j`.
+    one_minus_cos: Vec<f64>,
+    /// fGn: `[ln ω_j, ln(t_1+ω_j), ln(t_1−ω_j), …]` — `1 + 2J` logs per
+    /// frequency, flattened row-major.
+    ln_terms: Vec<f64>,
+    /// fGn: `[ln(t_J+ω_j), ln(t_J−ω_j)]` per frequency for the tail
+    /// integral correction.
+    ln_tail: Vec<f64>,
+}
+
+impl WhittleObjective {
+    /// Builds the tables for one periodogram under one spectral model.
+    pub fn new(pg: &Periodogram, model: SpectralModel) -> Self {
+        let freqs = pg.freqs();
+        let power = pg.power().to_vec();
+        let mut obj = WhittleObjective {
+            model,
+            power,
+            ln_two_sin_half: Vec::new(),
+            sum_ln_two_sin_half: 0.0,
+            one_minus_cos: Vec::new(),
+            ln_terms: Vec::new(),
+            ln_tail: Vec::new(),
+        };
+        match model {
+            SpectralModel::Farima => {
+                obj.ln_two_sin_half = freqs
+                    .iter()
+                    .map(|&w| (2.0 * (w / 2.0).sin()).abs().ln())
+                    .collect();
+                obj.sum_ln_two_sin_half = obj.ln_two_sin_half.iter().sum();
+            }
+            SpectralModel::Fgn => {
+                const J: usize = FGN_ALIAS_TERMS;
+                obj.one_minus_cos = freqs.iter().map(|&w| 1.0 - w.cos()).collect();
+                obj.ln_terms = Vec::with_capacity(freqs.len() * (1 + 2 * J));
+                obj.ln_tail = Vec::with_capacity(freqs.len() * 2);
+                let tj = 2.0 * std::f64::consts::PI * J as f64;
+                for &w in freqs {
+                    obj.ln_terms.push(w.ln());
+                    for j in 1..=J {
+                        let t = 2.0 * std::f64::consts::PI * j as f64;
+                        obj.ln_terms.push((t + w).ln());
+                        obj.ln_terms.push((t - w).ln());
+                    }
+                    obj.ln_tail.push((tj + w).ln());
+                    obj.ln_tail.push((tj - w).ln());
+                }
+            }
+        }
+        obj
+    }
+
+    /// Evaluates the profiled objective at differencing parameter `d`.
+    pub fn eval(&self, d: f64) -> f64 {
+        let m = self.power.len() as f64;
+        match self.model {
+            SpectralModel::Farima => {
+                let two_d = 2.0 * d;
+                let mut ratio_sum = 0.0;
+                for (&i, &s) in self.power.iter().zip(&self.ln_two_sin_half) {
+                    // I_j / f_j(d) with f_j = e^{−2d·s_j}.
+                    ratio_sum += i * (two_d * s).exp();
+                }
+                let log_sum = -two_d * self.sum_ln_two_sin_half;
+                (ratio_sum / m).ln() + log_sum / m
+            }
+            SpectralModel::Fgn => {
+                const J: usize = FGN_ALIAS_TERMS;
+                let h = d + 0.5;
+                let e = 2.0 * h + 1.0;
+                let tail_scale = 1.0 / (4.0 * std::f64::consts::PI * h);
+                let mut ratio_sum = 0.0;
+                let mut log_sum = 0.0;
+                let stride = 1 + 2 * J;
+                for (k, (&i, &omc)) in
+                    self.power.iter().zip(&self.one_minus_cos).enumerate()
+                {
+                    let terms = &self.ln_terms[k * stride..(k + 1) * stride];
+                    let mut b = 0.0;
+                    for &ln_t in &terms[1..] {
+                        b += (-e * ln_t).exp();
+                    }
+                    b += ((-2.0 * h * self.ln_tail[2 * k]).exp()
+                        + (-2.0 * h * self.ln_tail[2 * k + 1]).exp())
+                        * tail_scale;
+                    let f = omc * ((-e * terms[0]).exp() + b);
+                    ratio_sum += i / f;
+                    log_sum += f.ln();
+                }
+                (ratio_sum / m).ln() + log_sum / m
+            }
+        }
+    }
 }
 
 /// Whittle estimate of H fitting the fARIMA(0, d, 0) spectrum (the
@@ -129,27 +254,30 @@ fn whittle_core(
     check_all_finite(xs)?;
     check_non_constant(xs)?;
     let pg = Periodogram::compute(xs);
+    // Per-frequency log tables built once; each golden-section iteration
+    // is then an exp + multiply-add pass over the ordinates.
+    let obj = WhittleObjective::new(&pg, model);
 
     // Golden-section search for d over (0, 0.4999).
     let (mut a, mut b) = (1e-4, 0.4999f64);
     let phi = (5f64.sqrt() - 1.0) / 2.0;
     let mut c = b - phi * (b - a);
     let mut dd = a + phi * (b - a);
-    let mut fc = whittle_objective(&pg, model, c);
-    let mut fd = whittle_objective(&pg, model, dd);
+    let mut fc = obj.eval(c);
+    let mut fd = obj.eval(dd);
     for _ in 0..100 {
         if fc < fd {
             b = dd;
             dd = c;
             fd = fc;
             c = b - phi * (b - a);
-            fc = whittle_objective(&pg, model, c);
+            fc = obj.eval(c);
         } else {
             a = c;
             c = dd;
             fc = fd;
             dd = a + phi * (b - a);
-            fd = whittle_objective(&pg, model, dd);
+            fd = obj.eval(dd);
         }
         if (b - a).abs() < 1e-10 {
             break;
@@ -212,17 +340,20 @@ pub fn whittle_aggregated_with(
     levels: &[usize],
     model: SpectralModel,
 ) -> Vec<(usize, WhittleEstimate)> {
-    levels
-        .iter()
-        .filter_map(|&m| {
-            let agg = aggregate(xs, m);
-            if agg.len() >= 128 {
-                Some((m, whittle_with(&agg, model)))
-            } else {
-                None
-            }
-        })
-        .collect()
+    // Levels are independent full Whittle fits over different aggregated
+    // series — run them on the worker pool; index-ordered collection
+    // keeps the output identical to the serial sweep.
+    vbr_stats::par::par_map(levels, |&m| {
+        let agg = aggregate(xs, m);
+        if agg.len() >= 128 {
+            Some((m, whittle_with(&agg, model)))
+        } else {
+            None
+        }
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 #[cfg(test)]
@@ -334,5 +465,23 @@ mod tests {
     #[should_panic(expected = "longer series")]
     fn short_series_rejected() {
         whittle(&[1.0; 64]);
+    }
+
+    #[test]
+    fn fast_objective_matches_direct_evaluation() {
+        let xs = DaviesHarte::new(0.8, 1.0).generate(8_192, 17);
+        let pg = vbr_stats::Periodogram::compute(&xs);
+        for model in [SpectralModel::Farima, SpectralModel::Fgn] {
+            let fast = WhittleObjective::new(&pg, model);
+            for k in 1..50 {
+                let d = 0.4999 * k as f64 / 50.0;
+                let direct = whittle_objective_direct(&pg, model, d);
+                let cached = fast.eval(d);
+                assert!(
+                    (direct - cached).abs() < 1e-9 * direct.abs().max(1.0),
+                    "{model:?} d={d}: direct {direct} vs fast {cached}"
+                );
+            }
+        }
     }
 }

@@ -70,8 +70,10 @@ impl MuxSim {
         }
         let min_sep = if n_sources == 1 { 0 } else { 1000.min(trace.frames() / (2 * n_sources)) };
         let combos = lag_combinations(n_sources, trace.frames(), min_sep, seed);
+        // The six lag combinations are independent O(N·slices) sums;
+        // build them on the worker pool (combo order is preserved).
         let aggregates: Vec<Vec<f64>> =
-            combos.iter().map(|c| aggregate_arrivals(trace, c)).collect();
+            vbr_stats::par::par_map(&combos, |c| aggregate_arrivals(trace, c));
         let dt = trace.slice_duration();
         let total_bytes: f64 = aggregates[0].iter().sum();
         let mean_rate = total_bytes / (aggregates[0].len() as f64 * dt);
@@ -133,27 +135,36 @@ impl MuxSim {
     pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
         // Overload is deliberately legal here (transient studies run below
         // the mean rate); `try_run` is the variant that rejects it.
+        //
+        // Each combination is an independent queue replay, so the (up to
+        // six) replays run on the worker pool; the metrics come back in
+        // combo order and are summed left-to-right, making the averages
+        // bit-identical to the serial loop.
         let slots_per_sec = (1.0 / self.dt).round() as usize;
+        let per_combo: Vec<(f64, f64)> =
+            vbr_stats::par::par_map(&self.aggregates, |agg| {
+                let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
+                let mut worst = 0.0f64;
+                let mut win_loss = 0.0;
+                let mut win_arr = 0.0;
+                for (i, &a) in agg.iter().enumerate() {
+                    win_loss += q.step(a, self.dt);
+                    win_arr += a;
+                    if (i + 1) % slots_per_sec == 0 || i + 1 == agg.len() {
+                        if win_arr > 0.0 {
+                            worst = worst.max(win_loss / win_arr);
+                        }
+                        win_loss = 0.0;
+                        win_arr = 0.0;
+                    }
+                }
+                (q.loss_rate(), worst)
+            });
         let mut p_l = 0.0;
         let mut p_wes = 0.0;
-        for agg in &self.aggregates {
-            let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
-            let mut worst = 0.0f64;
-            let mut win_loss = 0.0;
-            let mut win_arr = 0.0;
-            for (i, &a) in agg.iter().enumerate() {
-                win_loss += q.step(a, self.dt);
-                win_arr += a;
-                if (i + 1) % slots_per_sec == 0 || i + 1 == agg.len() {
-                    if win_arr > 0.0 {
-                        worst = worst.max(win_loss / win_arr);
-                    }
-                    win_loss = 0.0;
-                    win_arr = 0.0;
-                }
-            }
-            p_l += q.loss_rate();
-            p_wes += worst;
+        for (l, w) in per_combo {
+            p_l += l;
+            p_wes += w;
         }
         let k = self.aggregates.len() as f64;
         AveragedLoss { p_l: p_l / k, p_wes: p_wes / k }
@@ -281,14 +292,15 @@ pub fn qc_curve(
     metric: LossMetric,
     iterations: usize,
 ) -> Vec<QcPoint> {
-    t_max_grid
-        .iter()
-        .map(|&t| QcPoint {
-            t_max_secs: t,
-            capacity_per_source: sim.required_capacity(t, target, metric, iterations)
-                / sim.n_sources() as f64,
-        })
-        .collect()
+    // Each T_max bisection is independent; sweep the grid on the worker
+    // pool. The nested `MuxSim::run` parallelism automatically degrades
+    // to serial inside these workers, so the thread count stays bounded,
+    // and grid order is preserved in the returned curve.
+    vbr_stats::par::par_map(t_max_grid, |&t| QcPoint {
+        t_max_secs: t,
+        capacity_per_source: sim.required_capacity(t, target, metric, iterations)
+            / sim.n_sources() as f64,
+    })
 }
 
 #[cfg(test)]

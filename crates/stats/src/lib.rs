@@ -27,6 +27,7 @@ pub mod error;
 pub mod gof;
 pub mod histogram;
 pub mod moving_average;
+pub mod par;
 pub mod periodogram;
 pub mod regression;
 pub mod rng;
@@ -39,6 +40,7 @@ pub use descriptive::{quantile, Moments, TraceSummary};
 pub use gof::{chi_square, ks_p_value, ks_statistic};
 pub use histogram::{Ecdf, Histogram};
 pub use moving_average::{downsample, moving_average, trailing_average};
+pub use par::{num_threads, par_map, par_map_with, with_threads};
 pub use periodogram::Periodogram;
 pub use regression::{fit_line, fit_loglog, LineFit};
 pub use rng::Xoshiro256;

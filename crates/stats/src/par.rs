@@ -1,0 +1,223 @@
+//! Std-only parallel execution layer for the workspace's hot paths.
+//!
+//! The build environment has no registry access, so rayon is out; this
+//! module provides the small subset the pipeline needs on top of
+//! `std::thread::scope`:
+//!
+//! - [`par_map`]: map a function over a slice on a worker pool, with
+//!   results collected **in index order** so the output is bit-for-bit
+//!   identical to the serial `iter().map().collect()` whenever the
+//!   mapped function is deterministic per element.
+//! - A `VBR_THREADS` environment override (and a programmatic
+//!   [`with_threads`] scope for tests) controlling the pool width.
+//! - A nested-parallelism guard: a `par_map` issued from inside another
+//!   `par_map` worker runs serially, so parallel callers composed of
+//!   parallel callees (e.g. a Q-C capacity sweep whose inner multiplexer
+//!   run is itself parallel) cannot multiply thread counts.
+//!
+//! # Determinism contract
+//!
+//! `par_map(items, f)` returns exactly `items.iter().map(f).collect()`
+//! as long as `f` is a pure function of its argument. Work is handed out
+//! by an atomic index dispenser (so load balances across uneven items),
+//! but every result is written back to its input's slot — scheduling
+//! order never leaks into the output. All downstream parallel entry
+//! points (estimator ensembles, MuxSim combination runs, Q-C sweeps,
+//! batch generation) inherit this guarantee and are therefore
+//! reproducible regardless of `VBR_THREADS`.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// True inside a par_map worker: nested calls degrade to serial.
+    static IN_WORKER: Cell<bool> = const { Cell::new(false) };
+    /// Programmatic thread-count override (see [`with_threads`]).
+    static THREAD_OVERRIDE: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads the parallel layer will use, in precedence
+/// order: the innermost active [`with_threads`] scope, then the
+/// `VBR_THREADS` environment variable, then the machine's available
+/// parallelism. Always at least 1.
+pub fn num_threads() -> usize {
+    if let Some(n) = THREAD_OVERRIDE.with(|o| o.get()) {
+        return n.max(1);
+    }
+    if let Some(n) = std::env::var("VBR_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+    {
+        return n.max(1);
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` with the parallel layer pinned to `threads` workers,
+/// restoring the previous setting afterwards. The override is
+/// thread-local and takes precedence over `VBR_THREADS`, so tests can
+/// compare thread counts side by side without touching the (process-
+/// global, race-prone) environment.
+pub fn with_threads<R>(threads: usize, f: impl FnOnce() -> R) -> R {
+    struct Restore(Option<usize>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let prev = self.0;
+            THREAD_OVERRIDE.with(|o| o.set(prev));
+        }
+    }
+    let prev = THREAD_OVERRIDE.with(|o| o.replace(Some(threads.max(1))));
+    let _restore = Restore(prev);
+    f()
+}
+
+/// Maps `f` over `items` on the configured worker pool (see
+/// [`num_threads`]); output order and values match the serial map
+/// bit-for-bit for deterministic `f`. Panics in `f` propagate.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    par_map_with(num_threads(), items, f)
+}
+
+/// [`par_map`] with an explicit worker count, bypassing configuration.
+pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    let n = items.len();
+    let nested = IN_WORKER.with(|w| w.get());
+    if threads <= 1 || n <= 1 || nested {
+        return items.iter().map(f).collect();
+    }
+    let threads = threads.min(n);
+    let next = AtomicUsize::new(0);
+    let f = &f;
+
+    // Each worker pulls indices from the shared dispenser and keeps
+    // (index, value) pairs; the merge below restores input order.
+    let per_worker: Vec<Vec<(usize, U)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    IN_WORKER.with(|w| w.set(true));
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= n {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("par_map worker panicked"))
+            .collect()
+    });
+
+    let mut slots: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    for pairs in per_worker {
+        for (i, v) in pairs {
+            debug_assert!(slots[i].is_none(), "index {i} produced twice");
+            slots[i] = Some(v);
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("par_map left an index unprocessed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn noisy(x: &f64) -> f64 {
+        // A deliberately non-associative float chain: any reordering of
+        // operations across elements would show up bit-for-bit.
+        let mut acc = *x;
+        for k in 1..50 {
+            acc = acc * 1.000001 + (k as f64).sin() * 1e-7;
+        }
+        acc
+    }
+
+    #[test]
+    fn matches_serial_bit_for_bit() {
+        let xs: Vec<f64> = (0..997).map(|i| i as f64 * 0.37 - 100.0).collect();
+        let serial: Vec<f64> = xs.iter().map(noisy).collect();
+        for &t in &[1usize, 2, 3, 8, 32] {
+            let par = par_map_with(t, &xs, noisy);
+            assert_eq!(par, serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn with_threads_overrides_and_restores() {
+        let outer = num_threads();
+        with_threads(5, || {
+            assert_eq!(num_threads(), 5);
+            with_threads(2, || assert_eq!(num_threads(), 2));
+            assert_eq!(num_threads(), 5);
+        });
+        assert_eq!(num_threads(), outer);
+    }
+
+    #[test]
+    fn nested_par_map_runs_serially_but_correctly() {
+        let xs: Vec<usize> = (0..16).collect();
+        let got = par_map_with(4, &xs, |&i| {
+            let inner: Vec<usize> = (0..8).collect();
+            // Inside a worker this must degrade to a plain serial map.
+            par_map_with(4, &inner, |&j| i * 100 + j)
+        });
+        for (i, row) in got.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, i * 100 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(par_map_with(8, &empty, |&x| x).is_empty());
+        assert_eq!(par_map_with(8, &[7], |&x: &i32| x * 2), vec![14]);
+    }
+
+    #[test]
+    fn load_imbalance_does_not_change_order() {
+        // Element 0 is far slower than the rest; its result must still
+        // land first.
+        let xs: Vec<u64> = (0..64).collect();
+        let got = par_map_with(8, &xs, |&i| {
+            if i == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(20));
+            }
+            i * 3
+        });
+        let want: Vec<u64> = xs.iter().map(|&i| i * 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    #[should_panic(expected = "worker panicked")]
+    fn worker_panic_propagates() {
+        let xs: Vec<i32> = (0..8).collect();
+        par_map_with(4, &xs, |&x| {
+            if x == 5 {
+                panic!("boom");
+            }
+            x
+        });
+    }
+}

@@ -40,6 +40,9 @@ pub use interframe::{train_interframe, FrameKind, InterframeCoder};
 pub use frame::Frame;
 pub use quant::Quantizer;
 pub use scenes::{detect_scenes, summarize_scenes, Scene, SceneDetectOptions, SceneSummary};
-pub use screenplay::{generate as generate_screenplay, Genre, ScreenplayConfig};
+pub use screenplay::{
+    generate as generate_screenplay, generate_batch as generate_screenplay_batch, Genre,
+    ScreenplayConfig,
+};
 pub use synth::{SceneSpec, SceneSynthesizer};
 pub use trace::Trace;

@@ -334,6 +334,15 @@ pub fn generate(config: &ScreenplayConfig) -> Trace {
     Trace::from_slices(slices, spf, config.fps)
 }
 
+/// Generates one trace per configuration on the worker pool — the
+/// multi-source setup of §5 (e.g. heterogeneous genres feeding one
+/// multiplexer). Each trace is seeded independently by its own config,
+/// so the batch output is bit-identical to calling [`generate`] in a
+/// loop, whatever the thread count.
+pub fn generate_batch(configs: &[ScreenplayConfig]) -> Vec<Trace> {
+    vbr_stats::par::par_map(configs, generate)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -451,6 +460,18 @@ mod tests {
         assert!(hc < hs - 0.02, "conference H {hc} vs sports H {hs}");
         assert!(hc < hm - 0.02, "conference H {hc} vs movie H {hm}");
         assert!(hc > 0.5, "conference must still be LRD, H {hc}");
+    }
+
+    #[test]
+    fn batch_matches_individual_generation() {
+        let configs: Vec<ScreenplayConfig> = vec![
+            ScreenplayConfig::short(800, 1),
+            ScreenplayConfig::genre(Genre::Videoconference, 600, 2),
+            ScreenplayConfig::genre(Genre::Sports, 700, 3),
+        ];
+        let batch = generate_batch(&configs);
+        let serial: Vec<Trace> = configs.iter().map(generate).collect();
+        assert_eq!(batch, serial);
     }
 
     #[test]
