@@ -21,11 +21,14 @@ use std::process::ExitCode;
 use vbr_bench::perf::{time_median, PerfReport};
 use vbr_bench::{Corruption, FaultInjector};
 use vbr_fft::{fft_pow2_in_place, Complex, Direction, FftPlan};
-use vbr_fgn::DaviesHarte;
+use vbr_fgn::{DaviesHarte, FgnStream, MarginalTransform, TableMode};
 use vbr_lrd::{
     robust_hurst, whittle_objective_direct, SpectralModel, WhittleObjective,
 };
-use vbr_qsim::{qc_curve, LossMetric, LossTarget, MuxSim};
+use vbr_qsim::{
+    aggregate_arrivals, lag_combinations, qc_curve, FluidQueue, LossMetric, LossTarget, MuxSim,
+};
+use vbr_stats::dist::GammaPareto;
 use vbr_stats::par::{num_threads, with_threads};
 use vbr_stats::periodogram::Periodogram;
 use vbr_stats::rng::Xoshiro256;
@@ -37,6 +40,7 @@ struct Sizes {
     whittle_n: usize,
     hurst_n: usize,
     trace_frames: usize,
+    stream_n: usize,
     qc_grid: Vec<f64>,
     qc_iters: usize,
     reps: usize,
@@ -49,6 +53,7 @@ impl Sizes {
             whittle_n: 1 << 16,
             hurst_n: 65_536,
             trace_frames: 20_000,
+            stream_n: 1 << 20,
             qc_grid: vec![0.0005, 0.001, 0.002, 0.005, 0.01, 0.05],
             qc_iters: 14,
             reps: 5,
@@ -61,6 +66,7 @@ impl Sizes {
             whittle_n: 1 << 11,
             hurst_n: 4_096,
             trace_frames: 2_000,
+            stream_n: 1 << 16,
             qc_grid: vec![0.001, 0.01],
             qc_iters: 6,
             reps: 2,
@@ -101,6 +107,7 @@ fn main() -> ExitCode {
     bench_kernels(&sizes, &mut report);
     bench_estimators(&sizes, &mut report);
     bench_simulation(&sizes, &mut report);
+    bench_streaming(&sizes, &mut report);
     report.print_summary();
 
     let path = out.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
@@ -361,25 +368,36 @@ fn bench_estimators(sizes: &Sizes, report: &mut PerfReport) {
         );
     }
 
-    // Ensemble estimator: serial vs worker pool.
-    let hs = DaviesHarte::new(0.8, 1.0).generate(sizes.hurst_n, 5);
-    let t_serial = time_median(0, sizes.reps, || {
-        with_threads(1, || {
-            robust_hurst(&hs).expect("estimation");
+    // Ensemble estimator dispatch. The old scheduler forked the worker
+    // pool for every ensemble regardless of size; the recorded bench
+    // showed that running 0.90x vs serial at n = 65536 (spawn/join tax
+    // on millisecond-scale work). The baseline reproduces that dispatch
+    // by pinning the pool to 4 workers (a pinned thread count bypasses
+    // the work-size threshold); the new path lets `par_map_sized`
+    // choose, which at this work size (4n < 2^19) is the serial lane.
+    let ens_n = (sizes.hurst_n / 64).max(256);
+    let hs = DaviesHarte::new(0.8, 1.0).generate(ens_n, 5);
+    let t_forced = time_median(2, sizes.reps.max(9), || {
+        with_threads(4, || {
+            for _ in 0..4 {
+                robust_hurst(&hs).expect("estimation");
+            }
         });
     });
-    let t_par = time_median(0, sizes.reps, || {
-        robust_hurst(&hs).expect("estimation");
+    let t_auto = time_median(2, sizes.reps.max(9), || {
+        for _ in 0..4 {
+            robust_hurst(&hs).expect("estimation");
+        }
     });
     report.record_vs(
         "estimators",
-        "robust_hurst_serial_vs_parallel",
-        t_serial,
-        t_par,
+        "robust_hurst_forced_parallel_vs_auto",
+        t_forced,
+        t_auto,
         &format!(
-            "4-member ensemble, n={}; parallel at {} worker thread(s)",
-            sizes.hurst_n,
-            num_threads()
+            "4 calls, 4-member ensemble, n={ens_n}; baseline pins a 4-worker pool (the old \
+             always-fork scheduler, one spawn/join per call), auto applies the \
+             par_map_sized work threshold"
         ),
     );
 }
@@ -390,69 +408,208 @@ fn bench_estimators(sizes: &Sizes, report: &mut PerfReport) {
 
 fn bench_simulation(sizes: &Sizes, report: &mut PerfReport) {
     let trace = generate_screenplay(&ScreenplayConfig::short(sizes.trace_frames, 6));
-    let sim = MuxSim::new(&trace, 3, 7);
+    let n_sources = 3usize;
+    let seed = 7u64;
+    let sim = MuxSim::new(&trace, n_sources, seed);
     let cap = sim.mean_rate() * 1.2;
+    let buffer = 0.002 * cap;
+    let dt = sim.dt();
+    let slots = trace.slice_bytes().len();
+    let slots_per_sec = (1.0 / dt).round() as usize;
 
-    let t_run_serial = time_median(0, sizes.reps, || {
-        with_threads(1, || {
-            sim.run(cap, 0.002 * cap);
-        });
+    // One mux experiment, set up and run once — the pre-streaming
+    // pipeline materialized every combination's aggregate arrival
+    // series at construction (6 x slots x 8 bytes) and then replayed
+    // the vectors; the streaming path regenerates arrivals through
+    // per-source wrap cursors in cache-sized chunks. Both sides include
+    // construction (rate summaries) and one full run with the
+    // worst-second bookkeeping, so the comparison is end to end.
+    let min_sep = 1000.min(trace.frames() / (2 * n_sources));
+    let t_materialized = time_median(1, sizes.reps, || {
+        let combos = lag_combinations(n_sources, trace.frames(), min_sep, seed);
+        let aggregates: Vec<Vec<f64>> =
+            combos.iter().map(|c| aggregate_arrivals(&trace, c)).collect();
+        // Rate summaries, as the old constructor derived them.
+        let total0: f64 = aggregates[0].iter().sum();
+        let mean = total0 / (slots as f64 * dt);
+        let peak = aggregates
+            .iter()
+            .flat_map(|a| a.iter().copied())
+            .fold(0.0f64, f64::max)
+            / dt;
+        std::hint::black_box((mean, peak));
+        let mut p_l = 0.0;
+        let mut p_wes = 0.0;
+        for agg in &aggregates {
+            let mut q = FluidQueue::new(buffer, cap);
+            let mut worst = 0.0f64;
+            let mut win_loss = 0.0;
+            let mut win_arr = 0.0;
+            for (i, &a) in agg.iter().enumerate() {
+                win_loss += q.step(a, dt);
+                win_arr += a;
+                if (i + 1) % slots_per_sec == 0 || i + 1 == agg.len() {
+                    if win_arr > 0.0 {
+                        worst = worst.max(win_loss / win_arr);
+                    }
+                    win_loss = 0.0;
+                    win_arr = 0.0;
+                }
+            }
+            p_l += q.loss_rate();
+            p_wes += worst;
+        }
+        std::hint::black_box((p_l, p_wes));
     });
-    let t_run_par = time_median(0, sizes.reps, || {
-        sim.run(cap, 0.002 * cap);
+    let t_streaming = time_median(1, sizes.reps, || {
+        let s = MuxSim::new(&trace, n_sources, seed);
+        std::hint::black_box(s.run(cap, buffer));
     });
     report.record_vs(
         "simulation",
-        "mux_run_serial_vs_parallel",
-        t_run_serial,
-        t_run_par,
+        "mux_run_materialized_vs_streaming",
+        t_materialized,
+        t_streaming,
         &format!(
-            "6 lag combinations x {} slots; parallel at {} worker thread(s)",
-            trace.slice_bytes().len(),
-            num_threads()
+            "6 lag combinations x {slots} slots, construction + one run; baseline materializes \
+             every aggregate series (pre-streaming MuxSim), new path streams wrap cursors"
         ),
     );
 
-    let t_qc_serial = time_median(0, 1.max(sizes.reps / 2), || {
-        with_threads(1, || {
-            qc_curve(&sim, &sizes.qc_grid, LossTarget::Rate(1e-2), LossMetric::Overall, sizes.qc_iters);
-        });
-    });
-    let t_qc_par = time_median(0, 1.max(sizes.reps / 2), || {
-        qc_curve(&sim, &sizes.qc_grid, LossTarget::Rate(1e-2), LossMetric::Overall, sizes.qc_iters);
-    });
-    report.record_vs(
-        "simulation",
-        "qc_sweep_serial_vs_parallel",
-        t_qc_serial,
-        t_qc_par,
-        &format!(
-            "{}-point T_max grid, {} bisection iterations each; parallel at {} worker thread(s)",
-            sizes.qc_grid.len(),
-            sizes.qc_iters,
-            num_threads()
-        ),
-    );
-
+    // Small-batch screenplay generation: the regime where the recorded
+    // bench showed the always-fork scheduler 0.88x vs serial. Baseline
+    // forces the old dispatch through a pinned 4-worker pool; the new
+    // path lets the work threshold route small batches serially.
+    let small_frames = (sizes.trace_frames / 2000).max(10);
     let configs: Vec<ScreenplayConfig> =
-        (0..4).map(|i| ScreenplayConfig::short(sizes.trace_frames / 2, 20 + i)).collect();
-    let t_batch_serial = time_median(0, 1.max(sizes.reps / 2), || {
-        with_threads(1, || {
-            generate_screenplay_batch(&configs);
+        (0..4).map(|i| ScreenplayConfig::short(small_frames, 20 + i)).collect();
+    generate_screenplay_batch(&configs); // warm spectrum caches
+    let t_batch_forced = time_median(2, sizes.reps.max(9), || {
+        with_threads(4, || {
+            for _ in 0..8 {
+                std::hint::black_box(generate_screenplay_batch(&configs));
+            }
         });
     });
-    let t_batch_par = time_median(0, 1.max(sizes.reps / 2), || {
-        generate_screenplay_batch(&configs);
+    let t_batch_auto = time_median(2, sizes.reps.max(9), || {
+        for _ in 0..8 {
+            std::hint::black_box(generate_screenplay_batch(&configs));
+        }
     });
     report.record_vs(
         "simulation",
-        "screenplay_batch_serial_vs_parallel",
-        t_batch_serial,
-        t_batch_par,
+        "screenplay_batch_forced_parallel_vs_auto",
+        t_batch_forced,
+        t_batch_auto,
         &format!(
-            "4 sources x {} frames; parallel at {} worker thread(s)",
-            sizes.trace_frames / 2,
-            num_threads()
+            "8 batches of 4 sources x {small_frames} frames; baseline pins a 4-worker pool \
+             (old always-fork scheduler), auto applies the par_map_sized work threshold"
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Streaming tier
+// ---------------------------------------------------------------------------
+
+/// Long-trace generation: the batch pipeline vs the block-streaming
+/// engine, one-shot. Every call uses a fresh Hurst value so both sides
+/// pay their spectrum construction — the scenario the streaming engine
+/// exists for is generating *one* long trace, not re-sampling a cached
+/// model. The batch side builds (and FFTs) a `2n`-point circulant
+/// embedding and holds the full Gaussian and traffic vectors; the
+/// stream side windows the embedding at `2 x block` points and never
+/// holds more than a block.
+fn bench_streaming(sizes: &Sizes, report: &mut PerfReport) {
+    let n = sizes.stream_n;
+    let block = 1usize << 14;
+    let chunk = 1usize << 13;
+    // Paper-scale Gamma/Pareto marginal (Table 2 parameters).
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+    let dt = 1.0 / (24.0 * 30.0);
+    // The batch side's wall time wobbles ±30% on a shared host (each
+    // one-shot call allocates ~50 MiB of embedding and series buffers,
+    // so page-fault pressure varies run to run); a warmed median over
+    // several reps keeps the recorded ratio representative.
+    let reps = sizes.reps.max(7);
+
+    let mut h_step = 0u64;
+    let mut fresh_h = move || {
+        h_step += 1;
+        0.8 + h_step as f64 * 1e-9
+    };
+
+    // Generate + marginal-transform only.
+    let t_gen_batch = time_median(1, reps, || {
+        let h = fresh_h();
+        let gauss = DaviesHarte::new(h, 1.0).generate(n, 42);
+        let traffic = xform.map_series(&gauss);
+        std::hint::black_box(traffic.len());
+    });
+    let t_gen_stream = time_median(1, reps, || {
+        let h = fresh_h();
+        let mut src = FgnStream::new(h, 1.0, block, 42);
+        let mut buf = vec![0.0f64; chunk];
+        let mut acc = 0.0;
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(buf.len());
+            xform.map_block_from(&mut src, &mut buf[..take]);
+            acc += buf[take - 1];
+            left -= take;
+        }
+        std::hint::black_box(acc);
+    });
+    report.record_vs(
+        "streaming",
+        "generate_marginal_batch_vs_stream",
+        t_gen_batch,
+        t_gen_stream,
+        &format!(
+            "one-shot fGn -> Gamma/Pareto traffic, n={n}, fresh (H, n) per call; baseline \
+             builds a {}-point embedding and two n-vectors, stream windows {}-point \
+             embeddings in {block}-sample blocks",
+            2 * n,
+            2 * block
+        ),
+    );
+
+    // Full pipeline: generate -> marginal transform -> fluid queue.
+    let t_e2e_batch = time_median(1, reps, || {
+        let h = fresh_h();
+        let gauss = DaviesHarte::new(h, 1.0).generate(n, 42);
+        let traffic = xform.map_series(&gauss);
+        let mut q = FluidQueue::new(1e6, 27_791.0 / dt * 1.2);
+        for &a in &traffic {
+            q.step(a, dt);
+        }
+        std::hint::black_box(q.loss_rate());
+    });
+    let t_e2e_stream = time_median(1, reps, || {
+        let h = fresh_h();
+        let mut src = FgnStream::new(h, 1.0, block, 42);
+        let mut buf = vec![0.0f64; chunk];
+        let mut q = FluidQueue::new(1e6, 27_791.0 / dt * 1.2);
+        let mut left = n;
+        while left > 0 {
+            let take = left.min(buf.len());
+            xform.map_block_from(&mut src, &mut buf[..take]);
+            for &a in &buf[..take] {
+                q.step(a, dt);
+            }
+            left -= take;
+        }
+        std::hint::black_box(q.loss_rate());
+    });
+    report.record_vs(
+        "streaming",
+        "pipeline_batch_vs_stream",
+        t_e2e_batch,
+        t_e2e_stream,
+        &format!(
+            "one-shot generate -> transform -> queue, n={n}, fresh (H, n) per call; stream \
+             peak live state is one {block}-sample block + one {chunk}-sample chunk"
         ),
     );
 }

@@ -8,48 +8,79 @@ use crate::radix2::{fft_pow2_in_place, next_pow2, Direction};
 
 /// Linear convolution of two real sequences (`len = a.len() + b.len() - 1`).
 pub fn convolve(a: &[f64], b: &[f64]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = (Vec::new(), Vec::new());
+    convolve_into(a, b, &mut out, &mut scratch.0, &mut scratch.1);
+    out
+}
+
+/// [`convolve`] into caller-owned buffers (`fa`/`fb` are the padded FFT
+/// workspaces). All three vectors are resized in place, so repeat calls
+/// at one size allocate nothing.
+pub fn convolve_into(
+    a: &[f64],
+    b: &[f64],
+    out: &mut Vec<f64>,
+    fa: &mut Vec<Complex>,
+    fb: &mut Vec<Complex>,
+) {
+    out.clear();
     if a.is_empty() || b.is_empty() {
-        return Vec::new();
+        return;
     }
     let out_len = a.len() + b.len() - 1;
     let m = next_pow2(out_len);
-    let mut fa: Vec<Complex> = Vec::with_capacity(m);
+    fa.clear();
     fa.extend(a.iter().map(|&v| Complex::from_re(v)));
     fa.resize(m, Complex::ZERO);
-    let mut fb: Vec<Complex> = Vec::with_capacity(m);
+    fb.clear();
     fb.extend(b.iter().map(|&v| Complex::from_re(v)));
     fb.resize(m, Complex::ZERO);
 
-    fft_pow2_in_place(&mut fa, Direction::Forward);
-    fft_pow2_in_place(&mut fb, Direction::Forward);
-    for (x, y) in fa.iter_mut().zip(&fb) {
+    fft_pow2_in_place(fa, Direction::Forward);
+    fft_pow2_in_place(fb, Direction::Forward);
+    for (x, y) in fa.iter_mut().zip(fb.iter()) {
         *x *= *y;
     }
-    fft_pow2_in_place(&mut fa, Direction::Inverse);
-    fa.truncate(out_len);
-    fa.into_iter().map(|z| z.re / m as f64).collect()
+    fft_pow2_in_place(fa, Direction::Inverse);
+    out.extend(fa[..out_len].iter().map(|z| z.re / m as f64));
 }
 
 /// Raw (non-normalised) autocorrelation sums
 /// `s_k = Σ_{i=0}^{n-1-k} x_i x_{i+k}` for `k = 0..=max_lag`,
 /// computed by FFT in `O(n log n)`.
 pub fn autocorr_sums(x: &[f64], max_lag: usize) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    autocorr_sums_into(x, max_lag, &mut out, &mut scratch);
+    out
+}
+
+/// [`autocorr_sums`] into caller-owned buffers (`scratch` is the padded
+/// FFT workspace); zero allocation once the buffers have grown to size.
+pub fn autocorr_sums_into(
+    x: &[f64],
+    max_lag: usize,
+    out: &mut Vec<f64>,
+    scratch: &mut Vec<Complex>,
+) {
+    out.clear();
     let n = x.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
     let max_lag = max_lag.min(n - 1);
     // Zero-pad to >= 2n to make circular convolution linear.
     let m = next_pow2(2 * n);
-    let mut buf: Vec<Complex> = Vec::with_capacity(m);
-    buf.extend(x.iter().map(|&v| Complex::from_re(v)));
-    buf.resize(m, Complex::ZERO);
-    fft_pow2_in_place(&mut buf, Direction::Forward);
-    for z in buf.iter_mut() {
+    scratch.clear();
+    scratch.extend(x.iter().map(|&v| Complex::from_re(v)));
+    scratch.resize(m, Complex::ZERO);
+    fft_pow2_in_place(scratch, Direction::Forward);
+    for z in scratch.iter_mut() {
         *z = Complex::from_re(z.norm_sqr());
     }
-    fft_pow2_in_place(&mut buf, Direction::Inverse);
-    (0..=max_lag).map(|k| buf[k].re / m as f64).collect()
+    fft_pow2_in_place(scratch, Direction::Inverse);
+    out.extend(scratch[..=max_lag].iter().map(|z| z.re / m as f64));
 }
 
 #[cfg(test)]

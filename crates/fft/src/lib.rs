@@ -29,28 +29,42 @@ pub mod plan;
 pub mod radix2;
 pub mod real;
 
-pub use bluestein::fft_any;
+pub use bluestein::{bluestein_plan_for, fft_any, fft_any_in_place, BluesteinPlan};
 pub use complex::Complex;
-pub use convolve::{autocorr_sums, convolve};
+pub use convolve::{autocorr_sums, autocorr_sums_into, convolve, convolve_into};
 pub use plan::{plan_for, FftPlan};
 pub use radix2::{fft_pow2_in_place, is_pow2, next_pow2, Direction};
-pub use real::{fft_real, ifft_real, power_spectrum};
+pub use real::{
+    fft_real, fft_real_into, ifft_real, ifft_real_into, power_spectrum, power_spectrum_into,
+};
 
 /// Forward DFT of a complex sequence (any length, unnormalised).
+///
+/// One output allocation; the transform itself runs through the
+/// in-place/plan machinery ([`fft_any_in_place`]).
 pub fn fft(x: &[Complex]) -> Vec<Complex> {
-    fft_any(x, Direction::Forward)
+    let mut buf = x.to_vec();
+    let mut scratch = Vec::new();
+    fft_any_in_place(&mut buf, &mut scratch, Direction::Forward);
+    buf
 }
 
 /// Inverse DFT of a complex sequence (any length), normalised by `1/n`.
+///
+/// One output allocation; see [`fft`].
 pub fn ifft(x: &[Complex]) -> Vec<Complex> {
     let n = x.len();
     if n == 0 {
         return Vec::new();
     }
-    fft_any(x, Direction::Inverse)
-        .into_iter()
-        .map(|z| z.scale(1.0 / n as f64))
-        .collect()
+    let mut buf = x.to_vec();
+    let mut scratch = Vec::new();
+    fft_any_in_place(&mut buf, &mut scratch, Direction::Inverse);
+    let scale = 1.0 / n as f64;
+    for z in &mut buf {
+        *z = z.scale(scale);
+    }
+    buf
 }
 
 #[cfg(test)]

@@ -77,6 +77,21 @@ impl FftPlan {
         self.n == 0
     }
 
+    /// In-place forward transform — the zero-allocation entry point used
+    /// by the streaming pipeline (`buf` is the caller's reusable block
+    /// buffer; radix-2 needs no separate scratch).
+    #[inline]
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.process(buf, Direction::Forward);
+    }
+
+    /// In-place inverse transform (unnormalised — divide by `len()` for
+    /// the true inverse). Zero allocation.
+    #[inline]
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.process(buf, Direction::Inverse);
+    }
+
     /// In-place transform of `data` (length must equal the plan size).
     pub fn process(&self, data: &mut [Complex], dir: Direction) {
         let n = self.n;

@@ -4,15 +4,30 @@
 //! autocorrelation, circulant embedding) always starts from real `f64`
 //! series; these helpers wrap the complex kernels.
 
-use crate::bluestein::fft_any;
+use crate::bluestein::fft_any_in_place;
 use crate::complex::Complex;
 use crate::radix2::Direction;
 
 /// Forward DFT of a real signal. Returns all `n` complex bins
 /// (the upper half is the conjugate mirror of the lower half).
+///
+/// One output allocation per call; see [`fft_real_into`] for the
+/// scratch-reusing variant.
 pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
-    let buf: Vec<Complex> = signal.iter().map(|&v| Complex::from_re(v)).collect();
-    fft_any(&buf, Direction::Forward)
+    let mut spectrum = Vec::new();
+    let mut scratch = Vec::new();
+    fft_real_into(signal, &mut spectrum, &mut scratch);
+    spectrum
+}
+
+/// [`fft_real`] into caller-owned buffers: `spectrum` receives the `n`
+/// complex bins, `scratch` is working space for non-power-of-two lengths.
+/// Both are resized in place, so repeat calls at one length allocate
+/// nothing.
+pub fn fft_real_into(signal: &[f64], spectrum: &mut Vec<Complex>, scratch: &mut Vec<Complex>) {
+    spectrum.clear();
+    spectrum.extend(signal.iter().map(|&v| Complex::from_re(v)));
+    fft_any_in_place(spectrum, scratch, Direction::Forward);
 }
 
 /// Inverse DFT returning only the real parts, normalised by `1/n`.
@@ -20,17 +35,51 @@ pub fn fft_real(signal: &[f64]) -> Vec<Complex> {
 /// Intended for spectra known to correspond to real signals; any residual
 /// imaginary part (numerical noise) is discarded.
 pub fn ifft_real(spectrum: &[Complex]) -> Vec<f64> {
+    let mut out = Vec::new();
+    let mut scratch = (Vec::new(), Vec::new());
+    ifft_real_into(spectrum, &mut out, &mut scratch.0, &mut scratch.1);
+    out
+}
+
+/// [`ifft_real`] into caller-owned buffers (`complex_scratch` holds the
+/// transform, `scratch` is extra working space for non-power-of-two
+/// lengths). Zero allocation once the buffers have grown to size.
+pub fn ifft_real_into(
+    spectrum: &[Complex],
+    out: &mut Vec<f64>,
+    complex_scratch: &mut Vec<Complex>,
+    scratch: &mut Vec<Complex>,
+) {
+    out.clear();
     let n = spectrum.len();
     if n == 0 {
-        return Vec::new();
+        return;
     }
-    let out = fft_any(spectrum, Direction::Inverse);
-    out.into_iter().map(|z| z.re / n as f64).collect()
+    complex_scratch.clear();
+    complex_scratch.extend_from_slice(spectrum);
+    fft_any_in_place(complex_scratch, scratch, Direction::Inverse);
+    out.extend(complex_scratch.iter().map(|z| z.re / n as f64));
 }
 
 /// Power spectrum `|X_k|²` of a real signal (all `n` bins, unnormalised).
 pub fn power_spectrum(signal: &[f64]) -> Vec<f64> {
-    fft_real(signal).into_iter().map(|z| z.norm_sqr()).collect()
+    let mut out = Vec::new();
+    let mut scratch = (Vec::new(), Vec::new());
+    power_spectrum_into(signal, &mut out, &mut scratch.0, &mut scratch.1);
+    out
+}
+
+/// [`power_spectrum`] into caller-owned buffers; zero allocation once
+/// the buffers have grown to size.
+pub fn power_spectrum_into(
+    signal: &[f64],
+    out: &mut Vec<f64>,
+    complex_scratch: &mut Vec<Complex>,
+    scratch: &mut Vec<Complex>,
+) {
+    fft_real_into(signal, complex_scratch, scratch);
+    out.clear();
+    out.extend(complex_scratch.iter().map(|z| z.norm_sqr()));
 }
 
 #[cfg(test)]

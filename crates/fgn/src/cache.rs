@@ -10,9 +10,15 @@
 //! the float parameter: two `H` values compare equal iff the uncached
 //! computation would be identical, so caching can never change output.
 //!
-//! Caches are process-global, mutex-guarded and size-bounded (entries at
-//! the paper scale run to megabytes); eviction simply clears the map —
-//! entries are pure functions of their key and rebuild on demand.
+//! Each key owns a build lock: concurrent first callers for the *same*
+//! key block on one builder instead of racing to duplicate the work
+//! (which made parallel batch generation slower than serial — every
+//! worker rebuilt the same multi-megabyte spectrum). Different keys
+//! still build concurrently.
+//!
+//! Caches are process-global and size-bounded (entries at the paper
+//! scale run to megabytes); eviction simply clears the map — entries are
+//! pure functions of their key and rebuild on demand.
 
 use crate::acvf::{farima_acf, fgn_acvf};
 use crate::davies_harte::circulant_spectrum;
@@ -26,7 +32,11 @@ use std::sync::{Arc, Mutex, OnceLock};
 const MAX_ENTRIES: usize = 16;
 
 type Key = (u64, usize);
-type VecCache = Mutex<HashMap<Key, Arc<Vec<f64>>>>;
+/// One slot per key: the outer map hands out the slot under a short
+/// lock; the slot's own mutex serialises building, so concurrent first
+/// callers of one key wait for a single build instead of duplicating it.
+type Slot = Arc<Mutex<Option<Arc<Vec<f64>>>>>;
+type VecCache = Mutex<HashMap<Key, Slot>>;
 
 fn fgn_acvf_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
@@ -43,18 +53,53 @@ fn spectrum_cache() -> &'static VecCache {
     C.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
-fn memoize(cache: &'static VecCache, key: Key, build: impl FnOnce() -> Vec<f64>) -> Arc<Vec<f64>> {
-    if let Some(hit) = cache.lock().expect("acvf cache poisoned").get(&key) {
-        return Arc::clone(hit);
-    }
-    // Built outside the lock; racing first callers each build once and
-    // the map keeps whichever arrived first (they are identical).
-    let value = Arc::new(build());
+fn farima_spectrum_cache() -> &'static VecCache {
+    static C: OnceLock<VecCache> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Fetches the key's slot, evicting the whole map first if it has grown
+/// past the bound (entries rebuild on demand; in-flight holders keep
+/// their own `Arc` to the old slot).
+fn slot_for(cache: &'static VecCache, key: Key) -> Slot {
     let mut map = cache.lock().expect("acvf cache poisoned");
-    if map.len() >= MAX_ENTRIES {
+    if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
         map.clear();
     }
-    Arc::clone(map.entry(key).or_insert(value))
+    Arc::clone(map.entry(key).or_default())
+}
+
+fn memoize(
+    cache: &'static VecCache,
+    key: Key,
+    build: impl FnOnce() -> Vec<f64>,
+) -> Arc<Vec<f64>> {
+    let slot = slot_for(cache, key);
+    let mut guard = slot.lock().expect("acvf cache slot poisoned");
+    if let Some(hit) = guard.as_ref() {
+        return Arc::clone(hit);
+    }
+    let value = Arc::new(build());
+    *guard = Some(Arc::clone(&value));
+    value
+}
+
+fn memoize_try(
+    cache: &'static VecCache,
+    key: Key,
+    build: impl FnOnce() -> Result<Vec<f64>, FgnError>,
+) -> Result<Arc<Vec<f64>>, FgnError> {
+    let slot = slot_for(cache, key);
+    let mut guard = slot.lock().expect("acvf cache slot poisoned");
+    if let Some(hit) = guard.as_ref() {
+        return Ok(Arc::clone(hit));
+    }
+    // Failures are not cached: the slot stays empty and the next caller
+    // retries (failure here means a genuinely non-PSD embedding, which
+    // is deterministic per key, so retries fail fast anyway).
+    let value = Arc::new(build()?);
+    *guard = Some(Arc::clone(&value));
+    Ok(value)
 }
 
 /// Memoized [`fgn_acvf`]: autocovariances `γ_0..=γ_max_lag` of
@@ -79,17 +124,21 @@ pub fn farima_acf_cached(d: f64, max_lag: usize) -> Arc<Vec<f64>> {
 /// fires on FFT round-off beyond the clamp tolerance; failures are not
 /// cached.
 pub fn fgn_circulant_spectrum_cached(hurst: f64, m: usize) -> Result<Arc<Vec<f64>>, FgnError> {
-    let key = (hurst.to_bits(), m);
-    if let Some(hit) = spectrum_cache().lock().expect("acvf cache poisoned").get(&key) {
-        return Ok(Arc::clone(hit));
-    }
-    let gamma = fgn_acvf_cached(hurst, m / 2);
-    let spectrum = Arc::new(circulant_spectrum(&gamma)?);
-    let mut map = spectrum_cache().lock().expect("acvf cache poisoned");
-    if map.len() >= MAX_ENTRIES {
-        map.clear();
-    }
-    Ok(Arc::clone(map.entry(key).or_insert(spectrum)))
+    memoize_try(spectrum_cache(), (hurst.to_bits(), m), || {
+        circulant_spectrum(&fgn_acvf_cached(hurst, m / 2))
+    })
+}
+
+/// Memoized circulant eigenvalue spectrum for the fARIMA(0, d, 0)
+/// autocorrelation — the [`crate::FarimaStream`] / fast-batch analogue
+/// of [`fgn_circulant_spectrum_cached`]. Unlike the fGn embedding, the
+/// fARIMA embedding is not provably PSD at every `(d, m)`; a genuinely
+/// negative spectrum is reported as [`FgnError::NonPsdEmbedding`] and
+/// not cached.
+pub fn farima_circulant_spectrum_cached(d: f64, m: usize) -> Result<Arc<Vec<f64>>, FgnError> {
+    memoize_try(farima_spectrum_cache(), (d.to_bits(), m), || {
+        circulant_spectrum(&farima_acf_cached(d, m / 2))
+    })
 }
 
 #[cfg(test)]
@@ -124,5 +173,28 @@ mod tests {
         assert_eq!(*cached, direct);
         let again = fgn_circulant_spectrum_cached(0.8, m).unwrap();
         assert!(Arc::ptr_eq(&cached, &again));
+    }
+
+    #[test]
+    fn cached_farima_spectrum_matches_direct_composition() {
+        let m = 512;
+        let direct = circulant_spectrum(&farima_acf(0.3, m / 2)).unwrap();
+        let cached = farima_circulant_spectrum_cached(0.3, m).unwrap();
+        assert_eq!(*cached, direct);
+    }
+
+    #[test]
+    fn racing_first_callers_build_once() {
+        // Hammer one brand-new key from many threads; the per-key build
+        // lock must hand every thread the same Arc.
+        let h = 0.654_321;
+        let arcs: Vec<Arc<Vec<f64>>> = std::thread::scope(|s| {
+            let handles: Vec<_> =
+                (0..8).map(|_| s.spawn(|| fgn_acvf_cached(h, 8192))).collect();
+            handles.into_iter().map(|j| j.join().unwrap()).collect()
+        });
+        for a in &arcs[1..] {
+            assert!(Arc::ptr_eq(&arcs[0], a));
+        }
     }
 }

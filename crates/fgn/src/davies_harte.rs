@@ -162,11 +162,32 @@ fn synthesise_from_spectrum(
     sd: f64,
     rng: &mut Xoshiro256,
 ) -> Vec<f64> {
+    let mut w = Vec::new();
+    synthesise_from_spectrum_into(lambda, rng, &mut w);
+    w.into_iter().take(n).map(|z| z.re * sd).collect()
+}
+
+/// Zero-allocation synthesis core: fills `w` (resized in place to the
+/// circulant length `m = lambda.len()`) with one Gaussian realisation of
+/// the circulant process. After the call `w[t].re` for `t < m/2 + 1` is
+/// an exact sample of the target stationary process (unit scale — the
+/// caller applies `sd`). Streaming callers reuse `w` across windows, so
+/// steady-state generation allocates nothing.
+///
+/// RNG draw order (DC, Nyquist, then conjugate pairs `k = 1..m/2`) is a
+/// compatibility contract: the block-streaming generator relies on it to
+/// stay bit-identical to the batch path on shared-seed prefixes.
+pub(crate) fn synthesise_from_spectrum_into(
+    lambda: &[f64],
+    rng: &mut Xoshiro256,
+    w: &mut Vec<Complex>,
+) {
     let m = lambda.len();
     let half = m / 2;
     // Synthesise W with E|W_k|² = λ_k/m and Hermitian symmetry so that
     // the FFT comes out real with the target covariance.
-    let mut w = vec![Complex::ZERO; m];
+    w.clear();
+    w.resize(m, Complex::ZERO);
     let mf = m as f64;
     w[0] = Complex::from_re((lambda[0] / mf).sqrt() * rng.standard_normal());
     w[half] = Complex::from_re((lambda[half] / mf).sqrt() * rng.standard_normal());
@@ -178,8 +199,7 @@ fn synthesise_from_spectrum(
         w[m - k] = Complex::new(re, -im);
     }
 
-    fft_pow2_in_place(&mut w, Direction::Forward);
-    w.into_iter().take(n).map(|z| z.re * sd).collect()
+    fft_pow2_in_place(w, Direction::Forward);
 }
 
 /// Fractional Brownian motion path: the cumulative sum of fGn,

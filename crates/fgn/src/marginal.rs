@@ -10,7 +10,7 @@
 //! truncation is one source of model error — we can quantify it).
 
 use vbr_stats::dist::ContinuousDist;
-use vbr_stats::special::norm_cdf;
+use vbr_stats::special::{norm_cdf, norm_quantile};
 
 /// How the target quantile function is evaluated.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,6 +21,13 @@ pub enum TableMode {
     /// used `N = 10 000`). Probabilities beyond the table's ends are
     /// clamped to the end values — reproducing the tail-truncation
     /// artefact the paper observed.
+    ///
+    /// The knots are tabulated in *source* (z) space as well as target
+    /// space, so the hot path is a grid lookup plus one linear
+    /// interpolation — no `Φ` or quantile evaluation per sample. That
+    /// is the whole point of the paper's table: at streaming rates the
+    /// transform costs a few loads per sample instead of a
+    /// transcendental.
     Table(usize),
 }
 
@@ -36,40 +43,91 @@ pub struct MarginalTransform<'a, D: ContinuousDist> {
     mode: TableMode,
     /// Quantile table at probabilities `(i + ½)/N` (empty in exact mode).
     table: Vec<f64>,
+    /// Standardised source positions of the knots, `Φ⁻¹((i + ½)/N)`
+    /// (empty in exact mode). Interpolation runs knot-to-knot in this
+    /// space, so mapping a sample needs no CDF evaluation.
+    zknots: Vec<f64>,
+    /// Uniform acceleration grid over `[zknots[0], zknots[N−1]]`: cell
+    /// `g` holds the largest knot index whose z is ≤ the cell's left
+    /// edge, so a lookup lands at most a couple of knots short.
+    zgrid: Vec<u32>,
+    zgrid_lo: f64,
+    zgrid_inv_step: f64,
 }
 
 impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     /// Builds a transform from `N(src_mean, src_sd²)` to `target`.
     pub fn new(target: &'a D, src_mean: f64, src_sd: f64, mode: TableMode) -> Self {
         assert!(src_sd > 0.0, "source std dev must be positive");
-        let table = match mode {
-            TableMode::Exact => Vec::new(),
+        let (table, zknots): (Vec<f64>, Vec<f64>) = match mode {
+            TableMode::Exact => (Vec::new(), Vec::new()),
             TableMode::Table(n) => {
                 assert!(n >= 2, "table needs at least 2 points");
                 (0..n)
-                    .map(|i| target.quantile((i as f64 + 0.5) / n as f64))
-                    .collect()
+                    .map(|i| {
+                        let u = (i as f64 + 0.5) / n as f64;
+                        (target.quantile(u), norm_quantile(u))
+                    })
+                    .unzip()
             }
         };
-        MarginalTransform { target, src_mean, src_sd, mode, table }
+        let (zgrid, zgrid_lo, zgrid_inv_step) = match zknots.as_slice() {
+            [] => (Vec::new(), 0.0, 0.0),
+            zs => {
+                let (lo, hi) = (zs[0], zs[zs.len() - 1]);
+                let cells = 2 * zs.len();
+                let step = (hi - lo) / cells as f64;
+                let mut grid = Vec::with_capacity(cells);
+                let mut i = 0u32;
+                for g in 0..cells {
+                    let edge = lo + g as f64 * step;
+                    while (i as usize + 1) < zs.len() && zs[i as usize + 1] <= edge {
+                        i += 1;
+                    }
+                    grid.push(i);
+                }
+                (grid, lo, 1.0 / step)
+            }
+        };
+        MarginalTransform {
+            target,
+            src_mean,
+            src_sd,
+            mode,
+            table,
+            zknots,
+            zgrid,
+            zgrid_lo,
+            zgrid_inv_step,
+        }
     }
 
     /// Maps one Gaussian value to the target marginal.
     pub fn map(&self, x: f64) -> f64 {
-        let u = norm_cdf((x - self.src_mean) / self.src_sd);
         match self.mode {
-            TableMode::Exact => self.target.quantile(u.clamp(1e-300, 1.0 - 1e-16)),
-            TableMode::Table(n) => {
-                let t = &self.table;
-                // Table knots sit at probabilities (i + ½)/n.
-                let pos = u * n as f64 - 0.5;
-                if pos <= 0.0 {
+            TableMode::Exact => {
+                let u = norm_cdf((x - self.src_mean) / self.src_sd);
+                self.target.quantile(u.clamp(1e-300, 1.0 - 1e-16))
+            }
+            TableMode::Table(_) => {
+                // Pure table walk: standardise, locate the knot cell via
+                // the uniform grid, interpolate linearly in z. Beyond
+                // the first/last knot (|u − ½| > ½ − ½N) the output
+                // clamps to the table ends, as in the paper.
+                let z = (x - self.src_mean) / self.src_sd;
+                let (t, zk) = (&self.table, &self.zknots);
+                let n = t.len();
+                if z <= zk[0] {
                     t[0]
-                } else if pos >= (n - 1) as f64 {
+                } else if z >= zk[n - 1] {
                     t[n - 1]
                 } else {
-                    let i = pos as usize;
-                    let frac = pos - i as f64;
+                    let g = ((z - self.zgrid_lo) * self.zgrid_inv_step) as usize;
+                    let mut i = self.zgrid[g.min(self.zgrid.len() - 1)] as usize;
+                    while zk[i + 1] < z {
+                        i += 1;
+                    }
+                    let frac = (z - zk[i]) / (zk[i + 1] - zk[i]);
                     t[i] + frac * (t[i + 1] - t[i])
                 }
             }
@@ -78,7 +136,35 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
 
     /// Maps a whole series.
     pub fn map_series(&self, xs: &[f64]) -> Vec<f64> {
-        xs.iter().map(|&x| self.map(x)).collect()
+        let mut out = Vec::new();
+        self.map_series_into(xs, &mut out);
+        out
+    }
+
+    /// [`map_series`](Self::map_series) into a caller-owned buffer
+    /// (cleared and resized in place; repeat calls at one length
+    /// allocate nothing).
+    pub fn map_series_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        out.clear();
+        out.extend(xs.iter().map(|&x| self.map(x)));
+    }
+
+    /// Transforms a buffer in place — the zero-copy kernel of the
+    /// streaming pipeline: a Gaussian block becomes a traffic block
+    /// without any intermediate vector.
+    pub fn map_inplace(&self, xs: &mut [f64]) {
+        for x in xs {
+            *x = self.map(*x);
+        }
+    }
+
+    /// Fused generation step: draws the next `out.len()` Gaussian
+    /// samples from `src` directly into `out` and transforms them in
+    /// place. One buffer end to end — the streaming pipeline's inner
+    /// loop (`O(block)` memory however long the trace).
+    pub fn map_block_from<S: crate::stream::BlockSource>(&self, src: &mut S, out: &mut [f64]) {
+        src.next_block(out);
+        self.map_inplace(out);
     }
 
     /// The largest value the transform can produce (table mode truncates
@@ -184,6 +270,36 @@ mod tests {
                 "order flipped at {i}"
             );
         }
+    }
+
+    #[test]
+    fn inplace_and_into_match_map_series() {
+        let t = target();
+        let f = MarginalTransform::new(&t, 0.0, 1.0, TableMode::Table(1000));
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let xs: Vec<f64> = (0..500).map(|_| rng.standard_normal()).collect();
+        let want = f.map_series(&xs);
+        let mut buf = xs.clone();
+        f.map_inplace(&mut buf);
+        assert_eq!(buf, want);
+        let mut out = Vec::new();
+        f.map_series_into(&xs, &mut out);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn fused_block_path_matches_batch_pipeline() {
+        // Streaming generate + transform in one buffer must reproduce
+        // the batch generate-then-map pipeline exactly (prefix-exact
+        // stream + identical per-sample map).
+        let t = target();
+        let f = MarginalTransform::new(&t, 0.0, 1.0, TableMode::Table(10_000));
+        let gauss = crate::DaviesHarte::new(0.8, 1.0).generate(512, 3);
+        let want = f.map_series(&gauss);
+        let mut stream = crate::FgnStream::new(0.8, 1.0, 512, 3);
+        let mut buf = vec![0.0; 512];
+        f.map_block_from(&mut stream, &mut buf);
+        assert_eq!(buf, want);
     }
 
     #[test]

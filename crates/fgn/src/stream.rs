@@ -1,0 +1,616 @@
+//! Bounded-memory block streaming of LRD Gaussian sample paths.
+//!
+//! Batch Davies–Harte holds the whole circulant (`2n` complex values) in
+//! memory, so a 16M-slice trace costs ~0.5 GB of transform workspace
+//! before the trace itself exists. The streams here instead synthesise
+//! the path in overlapped circulant *windows* of a caller-chosen block
+//! size `B`: memory is `O(B)` regardless of how many samples are drawn,
+//! and the iterator never terminates — callers take as much as they
+//! need.
+//!
+//! ## Exactness contract
+//!
+//! Two geometries are offered (see DESIGN.md §10):
+//!
+//! - **Prefix-exact** ([`FgnStream::new`]): the first window uses the
+//!   *same* circulant size, cached spectrum and RNG draw order as the
+//!   batch generator called with `n = B`, so the first `B` samples are
+//!   **bit-identical** to `DaviesHarte::generate(B, seed)` (resp. the
+//!   circulant fARIMA batch path, [`farima_via_circulant`]). Later
+//!   windows continue the same RNG stream; each window is internally an
+//!   exact sample of the target process, and consecutive windows are
+//!   joined over the free overlap `L = (m/2 + 1 − B).min(B)` by a
+//!   power-preserving cross-fade (below).
+//! - **Quality overlap** ([`FgnStream::with_overlap`]): the caller picks
+//!   the overlap `L ≤ B` and the circulant grows to cover `B + L`
+//!   samples per window. Longer overlaps track the target
+//!   autocovariance further across window seams, at the cost of the
+//!   bit-exact prefix (the circulant size — hence the spectrum and the
+//!   number of RNG draws per window — differs from the batch call).
+//!
+//! The cross-fade blends the previous window's unused exact tail
+//! `p_0..p_{L−1}` into the new window's head `c_0..c_{L−1}`:
+//!
+//! ```text
+//! z_i = sqrt(1 − a_i)·p_i + sqrt(a_i)·c_i,   a_i = (i + 1)/(L + 1)
+//! ```
+//!
+//! Both inputs are zero-mean Gaussian with the target marginal variance
+//! and the weights satisfy `(1 − a_i) + a_i = 1`, so every emitted
+//! sample has **exactly** the target `N(0, σ²)` marginal. Covariance is
+//! exact within a window and approximate across the seam (the two
+//! windows are independent realisations); the overlap length bounds how
+//! far the seam error reaches.
+
+use crate::cache::{farima_circulant_spectrum_cached, fgn_circulant_spectrum_cached};
+use crate::davies_harte::synthesise_from_spectrum_into;
+use crate::error::FgnError;
+use std::sync::Arc;
+use vbr_fft::{next_pow2, Complex};
+use vbr_stats::rng::Xoshiro256;
+
+/// Bulk sample source: anything that can fill a caller buffer with the
+/// next run of samples. Implemented by all streams here; consumed by
+/// the fused pipeline stages
+/// ([`MarginalTransform::map_block_from`](crate::MarginalTransform::map_block_from))
+/// so they work over any generator without per-sample dispatch.
+pub trait BlockSource {
+    /// Fills `out` with the next `out.len()` samples of the source.
+    fn next_block(&mut self, out: &mut [f64]);
+}
+
+/// Validates a block/overlap pair (`block ≥ 1`, `overlap ≤ block`).
+fn check_geometry(block: usize, overlap: usize) -> Result<(), FgnError> {
+    if block == 0 {
+        return Err(vbr_stats::error::NumericError::OutOfRange {
+            what: "stream block size (must be >= 1)",
+            value: 0.0,
+            lo: 1.0,
+            hi: f64::INFINITY,
+        }
+        .into());
+    }
+    if overlap > block {
+        return Err(vbr_stats::error::NumericError::OutOfRange {
+            what: "stream overlap (must be <= block)",
+            value: overlap as f64,
+            lo: 0.0,
+            hi: block as f64,
+        }
+        .into());
+    }
+    Ok(())
+}
+
+/// The engine shared by [`FgnStream`] and [`FarimaStream`]: an infinite
+/// iterator over overlapped circulant windows of a fixed spectrum.
+///
+/// All buffers (`w`, `cur`, `tail`) are allocated once at construction
+/// and reused every window, so steady-state generation allocates
+/// nothing.
+#[derive(Debug, Clone)]
+pub struct CirculantStream {
+    sd: f64,
+    block: usize,
+    overlap: usize,
+    /// `None` is the degenerate `block == 1` white-noise path (matching
+    /// the batch generators' `n == 1` special case, where the circulant
+    /// machinery is bypassed entirely).
+    spectrum: Option<Arc<Vec<f64>>>,
+    rng: Xoshiro256,
+    /// Circulant synthesis workspace (`m` complex values).
+    w: Vec<Complex>,
+    /// The `block` samples currently being emitted.
+    cur: Vec<f64>,
+    /// Exact tail of the previous window, cross-faded into the next.
+    tail: Vec<f64>,
+    pos: usize,
+    started: bool,
+}
+
+impl CirculantStream {
+    /// Builds a stream over an explicit circulant spectrum (`None` for
+    /// the white-noise path). Geometry must already be validated; the
+    /// spectrum window must cover `block + overlap` samples
+    /// (`lambda.len()/2 + 1 ≥ block + overlap`).
+    fn from_spectrum(
+        spectrum: Option<Arc<Vec<f64>>>,
+        sd: f64,
+        block: usize,
+        overlap: usize,
+        rng: Xoshiro256,
+    ) -> Self {
+        if let Some(lambda) = &spectrum {
+            debug_assert!(lambda.len() / 2 + 1 >= block + overlap);
+        }
+        let m = spectrum.as_ref().map_or(0, |l| l.len());
+        CirculantStream {
+            sd,
+            block,
+            overlap,
+            spectrum,
+            rng,
+            w: Vec::with_capacity(m),
+            cur: Vec::with_capacity(block),
+            tail: Vec::with_capacity(overlap),
+            pos: 0,
+            started: false,
+        }
+    }
+
+    /// Emitted samples per window.
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// Circulant transform length per window (`0` on the white-noise
+    /// path) — the memory scale of the stream.
+    pub fn circulant_len(&self) -> usize {
+        self.spectrum.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// Synthesises the next window into `cur`, cross-fading the seam.
+    fn refill(&mut self) {
+        self.pos = 0;
+        let Some(spectrum) = &self.spectrum else {
+            self.cur.clear();
+            for _ in 0..self.block {
+                self.cur.push(self.rng.standard_normal() * self.sd);
+            }
+            return;
+        };
+        synthesise_from_spectrum_into(spectrum, &mut self.rng, &mut self.w);
+        let (b, l) = (self.block, self.overlap);
+        self.cur.clear();
+        self.cur.extend(self.w[..b].iter().map(|z| z.re * self.sd));
+        if self.started {
+            // Power-preserving cross-fade against the previous tail:
+            // weights sum to one in *variance*, so the N(0, σ²) marginal
+            // is preserved exactly at every blended sample.
+            for i in 0..l {
+                let a = (i + 1) as f64 / (l + 1) as f64;
+                self.cur[i] = (1.0 - a).sqrt() * self.tail[i] + a.sqrt() * self.cur[i];
+            }
+        }
+        self.tail.clear();
+        self.tail.extend(self.w[b..b + l].iter().map(|z| z.re * self.sd));
+        self.started = true;
+    }
+
+    /// Fills `out` with the next `out.len()` samples of the stream —
+    /// the chunked equivalent of calling [`Iterator::next`] in a loop,
+    /// without per-sample dispatch.
+    pub fn next_block(&mut self, out: &mut [f64]) {
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.pos >= self.cur.len() {
+                self.refill();
+            }
+            let take = (out.len() - filled).min(self.cur.len() - self.pos);
+            out[filled..filled + take]
+                .copy_from_slice(&self.cur[self.pos..self.pos + take]);
+            self.pos += take;
+            filled += take;
+        }
+    }
+}
+
+impl Iterator for CirculantStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        if self.pos >= self.cur.len() {
+            self.refill();
+        }
+        let v = self.cur[self.pos];
+        self.pos += 1;
+        Some(v)
+    }
+}
+
+impl BlockSource for CirculantStream {
+    fn next_block(&mut self, out: &mut [f64]) {
+        CirculantStream::next_block(self, out);
+    }
+}
+
+impl BlockSource for FgnStream {
+    fn next_block(&mut self, out: &mut [f64]) {
+        self.0.next_block(out);
+    }
+}
+
+impl BlockSource for FarimaStream {
+    fn next_block(&mut self, out: &mut [f64]) {
+        self.0.next_block(out);
+    }
+}
+
+/// Prefix-exact geometry: the circulant of the batch call with `n =
+/// block`, plus whatever exact overlap it yields for free. Returns
+/// `(m, overlap)`; `block` must be `≥ 2`.
+fn prefix_exact_geometry(block: usize) -> (usize, usize) {
+    let m = next_pow2(2 * (block - 1)).max(2);
+    let exact_run = m / 2 + 1;
+    (m, (exact_run - block).min(block))
+}
+
+/// Infinite bounded-memory stream of exact-in-window fractional
+/// Gaussian noise.
+///
+/// ```
+/// use vbr_fgn::{DaviesHarte, FgnStream};
+/// let block = 1000;
+/// let streamed: Vec<f64> = FgnStream::new(0.8, 1.0, block, 42).take(block).collect();
+/// // Prefix-exact: bit-identical to the batch generator on the first block.
+/// assert_eq!(streamed, DaviesHarte::new(0.8, 1.0).generate(block, 42));
+/// ```
+#[derive(Debug, Clone)]
+pub struct FgnStream(CirculantStream);
+
+impl FgnStream {
+    /// Prefix-exact stream: the first `block` samples are bit-identical
+    /// to `DaviesHarte::new(hurst, variance).generate(block, seed)`.
+    /// Panics on invalid parameters; see [`try_new`](Self::try_new).
+    pub fn new(hurst: f64, variance: f64, block: usize, seed: u64) -> Self {
+        Self::try_new(hurst, variance, block, seed)
+            .unwrap_or_else(|e| panic!("FgnStream construction failed: {e}"))
+    }
+
+    /// Fallible [`new`](Self::new).
+    pub fn try_new(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, None, seed)
+    }
+
+    /// Stream with a caller-chosen seam overlap `overlap ≤ block` (the
+    /// circulant grows to cover `block + overlap` samples per window).
+    /// Better cross-window covariance than [`new`](Self::new), but the
+    /// prefix is no longer bit-identical to the batch generator.
+    pub fn with_overlap(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: usize,
+        seed: u64,
+    ) -> Self {
+        Self::try_with_overlap(hurst, variance, block, overlap, seed)
+            .unwrap_or_else(|e| panic!("FgnStream construction failed: {e}"))
+    }
+
+    /// Fallible [`with_overlap`](Self::with_overlap).
+    pub fn try_with_overlap(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: usize,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, Some(overlap), seed)
+    }
+
+    fn build(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        if !(hurst > 0.0 && hurst < 1.0) {
+            return Err(FgnError::InvalidHurst { hurst, lo: 0.0, hi: 1.0 });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(FgnError::InvalidVariance { variance });
+        }
+        check_geometry(block, overlap.unwrap_or(0))?;
+        let sd = variance.sqrt();
+        let rng = Xoshiro256::seed_from_u64(seed);
+        if block == 1 {
+            return Ok(FgnStream(CirculantStream::from_spectrum(None, sd, 1, 0, rng)));
+        }
+        let (m, l) = match overlap {
+            None => prefix_exact_geometry(block),
+            Some(l) => (next_pow2(2 * (block + l - 1)).max(2), l),
+        };
+        let lambda = fgn_circulant_spectrum_cached(hurst, m)?;
+        Ok(FgnStream(CirculantStream::from_spectrum(Some(lambda), sd, block, l, rng)))
+    }
+
+    /// Fills `out` with the next `out.len()` samples (chunked draw).
+    pub fn next_block(&mut self, out: &mut [f64]) {
+        self.0.next_block(out);
+    }
+
+    /// Emitted samples per circulant window.
+    pub fn block(&self) -> usize {
+        self.0.block()
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.0.overlap()
+    }
+
+    /// Circulant transform length per window — the memory scale.
+    pub fn circulant_len(&self) -> usize {
+        self.0.circulant_len()
+    }
+}
+
+impl Iterator for FgnStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.0.next()
+    }
+}
+
+/// Infinite bounded-memory stream of exact-in-window fractional
+/// ARIMA(0, d, 0) noise — the streaming, `O(n log n)` counterpart of
+/// [`crate::Hosking`], via the same circulant engine as [`FgnStream`].
+///
+/// Unlike the fGn embedding, the fARIMA circulant is not provably PSD
+/// at every `(d, m)`, so construction is fallible
+/// ([`FgnError::NonPsdEmbedding`]); in practice the embedding succeeds
+/// for `H ∈ [0.5, 1)` at all power-of-two sizes we exercise.
+#[derive(Debug, Clone)]
+pub struct FarimaStream(CirculantStream);
+
+impl FarimaStream {
+    /// Prefix-exact stream: the first `block` samples are bit-identical
+    /// to [`farima_via_circulant`]`(hurst, variance, block, seed)`.
+    /// `H ∈ [0.5, 1)` as for [`crate::Hosking`].
+    pub fn try_new(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, None, seed)
+    }
+
+    /// Fallible stream with a caller-chosen seam overlap; see
+    /// [`FgnStream::with_overlap`] for the trade-off.
+    pub fn try_with_overlap(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: usize,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, Some(overlap), seed)
+    }
+
+    fn build(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+        seed: u64,
+    ) -> Result<Self, FgnError> {
+        if !(0.5..1.0).contains(&hurst) {
+            return Err(FgnError::InvalidHurst { hurst, lo: 0.5, hi: 1.0 });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(FgnError::InvalidVariance { variance });
+        }
+        check_geometry(block, overlap.unwrap_or(0))?;
+        let d = crate::acvf::hurst_to_d(hurst);
+        let sd = variance.sqrt();
+        let rng = Xoshiro256::seed_from_u64(seed);
+        if block == 1 {
+            return Ok(FarimaStream(CirculantStream::from_spectrum(None, sd, 1, 0, rng)));
+        }
+        let (m, l) = match overlap {
+            None => prefix_exact_geometry(block),
+            Some(l) => (next_pow2(2 * (block + l - 1)).max(2), l),
+        };
+        let lambda = farima_circulant_spectrum_cached(d, m)?;
+        Ok(FarimaStream(CirculantStream::from_spectrum(Some(lambda), sd, block, l, rng)))
+    }
+
+    /// Fills `out` with the next `out.len()` samples (chunked draw).
+    pub fn next_block(&mut self, out: &mut [f64]) {
+        self.0.next_block(out);
+    }
+
+    /// Emitted samples per circulant window.
+    pub fn block(&self) -> usize {
+        self.0.block()
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.0.overlap()
+    }
+
+    /// Circulant transform length per window — the memory scale.
+    pub fn circulant_len(&self) -> usize {
+        self.0.circulant_len()
+    }
+}
+
+impl Iterator for FarimaStream {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        self.0.next()
+    }
+}
+
+/// Batch fARIMA(0, d, 0) in `O(n log n)` via circulant embedding — the
+/// fast alternative to [`crate::Hosking`]'s exact `O(n²)` recursion,
+/// and the batch comparator for [`FarimaStream`]'s prefix-exactness
+/// contract. `H ∈ [0.5, 1)`; variance is the marginal variance (the
+/// theoretical fARIMA autocorrelation is used, scaled by `variance`),
+/// matching the [`crate::Hosking`] parameterisation.
+pub fn farima_via_circulant(
+    hurst: f64,
+    variance: f64,
+    n: usize,
+    seed: u64,
+) -> Result<Vec<f64>, FgnError> {
+    if !(0.5..1.0).contains(&hurst) {
+        return Err(FgnError::InvalidHurst { hurst, lo: 0.5, hi: 1.0 });
+    }
+    if !(variance > 0.0 && variance.is_finite()) {
+        return Err(FgnError::InvalidVariance { variance });
+    }
+    let mut rng = Xoshiro256::seed_from_u64(seed);
+    let sd = variance.sqrt();
+    if n == 0 {
+        return Ok(Vec::new());
+    }
+    if n == 1 {
+        return Ok(vec![rng.standard_normal() * sd]);
+    }
+    let m = next_pow2(2 * (n - 1)).max(2);
+    let lambda = farima_circulant_spectrum_cached(crate::acvf::hurst_to_d(hurst), m)?;
+    let mut w = Vec::new();
+    synthesise_from_spectrum_into(&lambda, &mut rng, &mut w);
+    Ok(w.into_iter().take(n).map(|z| z.re * sd).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::acvf::fgn_acvf;
+    use crate::davies_harte::DaviesHarte;
+
+    fn sample_stats(x: &[f64]) -> (f64, f64) {
+        let mean = x.iter().sum::<f64>() / x.len() as f64;
+        let var = x.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / x.len() as f64;
+        (mean, var)
+    }
+
+    #[test]
+    fn prefix_bit_identical_to_batch() {
+        let g = DaviesHarte::new(0.8, 2.5);
+        for block in [2usize, 7, 64, 500, 1025] {
+            let batch = g.generate(block, 42);
+            let streamed: Vec<f64> =
+                FgnStream::new(0.8, 2.5, block, 42).take(block).collect();
+            assert_eq!(streamed, batch, "block {block}");
+        }
+    }
+
+    #[test]
+    fn block_one_matches_batch_white_path() {
+        let g = DaviesHarte::new(0.7, 4.0);
+        let batch = g.generate(1, 9);
+        let streamed: Vec<f64> = FgnStream::new(0.7, 4.0, 1, 9).take(1).collect();
+        assert_eq!(streamed, batch);
+        // And it keeps producing iid normals with the right variance.
+        let long: Vec<f64> = FgnStream::new(0.7, 4.0, 1, 9).take(50_000).collect();
+        let (mean, var) = sample_stats(&long);
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn next_block_matches_iterator() {
+        let mut by_chunks = FgnStream::new(0.8, 1.0, 512, 7);
+        let by_iter: Vec<f64> = FgnStream::new(0.8, 1.0, 512, 7).take(2000).collect();
+        let mut got = vec![0.0; 2000];
+        // Odd chunk sizes to exercise window-boundary straddling.
+        let (a, rest) = got.split_at_mut(123);
+        let (b, c) = rest.split_at_mut(1000);
+        by_chunks.next_block(a);
+        by_chunks.next_block(b);
+        by_chunks.next_block(c);
+        assert_eq!(got, by_iter);
+    }
+
+    #[test]
+    fn long_stream_preserves_marginal_variance() {
+        // Cross-faded seams must not change the N(0, σ²) marginal.
+        let n = 1 << 17;
+        let x: Vec<f64> = FgnStream::with_overlap(0.8, 1.0, 4096, 2048, 3).take(n).collect();
+        let (mean, var) = sample_stats(&x);
+        assert!(mean.abs() < 0.12, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.12, "var {var}");
+        assert!(x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn long_stream_tracks_short_lag_acf() {
+        let h = 0.8;
+        let n = 1 << 17;
+        let x: Vec<f64> = FgnStream::with_overlap(h, 1.0, 4096, 2048, 11).take(n).collect();
+        let r = vbr_stats::acf::autocorrelation(&x, 5);
+        let want = fgn_acvf(h, 5);
+        for k in 1..=5 {
+            assert!(
+                (r[k] - want[k]).abs() < 0.06,
+                "lag {k}: sample {} vs theory {}",
+                r[k],
+                want[k]
+            );
+        }
+    }
+
+    #[test]
+    fn farima_stream_prefix_matches_circulant_batch() {
+        for block in [2usize, 33, 700] {
+            let batch = farima_via_circulant(0.8, 1.0, block, 5).unwrap();
+            let streamed: Vec<f64> = FarimaStream::try_new(0.8, 1.0, block, 5)
+                .unwrap()
+                .take(block)
+                .collect();
+            assert_eq!(streamed, batch, "block {block}");
+        }
+    }
+
+    #[test]
+    fn farima_circulant_matches_hosking_acf() {
+        // Same model, different algorithms: the sample lag-1 correlation
+        // of the circulant path must sit near Hosking's theoretical
+        // rho_1 = d/(1-d).
+        let h = 0.875; // d = 0.375, rho_1 = 0.6
+        let x = farima_via_circulant(h, 1.0, 1 << 16, 17).unwrap();
+        let r = vbr_stats::acf::autocorrelation(&x, 1);
+        let d = crate::acvf::hurst_to_d(h);
+        let want = d / (1.0 - d);
+        assert!((r[1] - want).abs() < 0.05, "rho_1 {} vs {}", r[1], want);
+    }
+
+    #[test]
+    fn invalid_parameters_are_typed_errors() {
+        assert!(matches!(
+            FgnStream::try_new(1.2, 1.0, 64, 0),
+            Err(FgnError::InvalidHurst { .. })
+        ));
+        assert!(matches!(
+            FgnStream::try_new(0.8, -1.0, 64, 0),
+            Err(FgnError::InvalidVariance { .. })
+        ));
+        assert!(FgnStream::try_new(0.8, 1.0, 0, 0).is_err());
+        assert!(FgnStream::try_with_overlap(0.8, 1.0, 64, 65, 0).is_err());
+        assert!(matches!(
+            FarimaStream::try_new(0.3, 1.0, 64, 0),
+            Err(FgnError::InvalidHurst { .. })
+        ));
+    }
+
+    #[test]
+    fn geometry_accessors() {
+        let s = FgnStream::new(0.8, 1.0, 1000, 1);
+        assert_eq!(s.block(), 1000);
+        assert_eq!(s.circulant_len(), 2048);
+        assert_eq!(s.overlap(), 25); // m/2 + 1 - B = 1025 - 1000
+        let s = FgnStream::with_overlap(0.8, 1.0, 1000, 500, 1);
+        assert_eq!(s.overlap(), 500);
+        assert_eq!(s.circulant_len(), 4096); // next_pow2(2 * 1499)
+        let s = FgnStream::new(0.8, 1.0, 1, 1);
+        assert_eq!(s.circulant_len(), 0);
+    }
+}

@@ -1,8 +1,11 @@
-//! Property-based tests for the LRD generators and the marginal
-//! transform.
+//! Property-based tests for the LRD generators, the streaming engine,
+//! and the marginal transform.
 
 use proptest::prelude::*;
-use vbr_fgn::{farima_acf, fgn_acvf, DaviesHarte, Hosking, MarginalTransform, TableMode};
+use vbr_fgn::{
+    farima_acf, farima_via_circulant, fgn_acvf, DaviesHarte, FarimaStream, FgnStream, Hosking,
+    MarginalTransform, TableMode,
+};
 use vbr_stats::dist::{ContinuousDist, GammaPareto};
 
 proptest! {
@@ -73,6 +76,63 @@ proptest! {
         }
         for &y in &mapped {
             prop_assert!(y > 0.0 && y.is_finite());
+        }
+    }
+
+    #[test]
+    fn fgn_stream_prefix_bit_identical_across_block_sizes(
+        h in 0.05f64..0.95,
+        n in 1usize..1200,
+        seed in 0u64..1000,
+    ) {
+        // The documented exactness contract (stream.rs): a stream with
+        // block size B uses the same circulant embedding, spectrum and
+        // RNG draw order as the batch generator at length B, so its
+        // first B outputs are bit-identical to `generate(B, seed)`.
+        // Past the first window the stream intentionally diverges from
+        // any batch path (windowed embedding + power-preserving
+        // cross-fade: exact marginals, approximate seam covariance), so
+        // sameness beyond the prefix is distributional, not pathwise —
+        // here checked as finiteness only.
+        let g = DaviesHarte::new(h, 1.0);
+        for block in [1usize, 7, 4096, n] {
+            let batch = g.generate(block, seed);
+            let mut s = FgnStream::new(h, 1.0, block, seed);
+            let mut got = vec![0.0f64; block];
+            s.next_block(&mut got);
+            prop_assert_eq!(&got, &batch, "prefix diverges at block {}", block);
+            let mut next = vec![0.0f64; block.min(64)];
+            s.next_block(&mut next);
+            prop_assert!(next.iter().all(|v| v.is_finite()));
+        }
+    }
+
+    #[test]
+    fn farima_stream_prefix_bit_identical_across_block_sizes(
+        h in 0.5f64..0.95,
+        n in 1usize..1200,
+        seed in 0u64..1000,
+    ) {
+        // Same contract as the fGn stream, against the circulant fARIMA
+        // batch comparator. The fARIMA embedding is not provably PSD,
+        // so both paths are fallible: they must accept or reject the
+        // same (H, block) inputs, and agree bit-for-bit when they accept.
+        for block in [1usize, 7, 4096, n] {
+            match FarimaStream::try_new(h, 1.0, block, seed) {
+                Ok(mut s) => {
+                    let batch = farima_via_circulant(h, 1.0, block, seed)
+                        .expect("stream accepted but batch rejected the same geometry");
+                    let mut got = vec![0.0f64; block];
+                    s.next_block(&mut got);
+                    prop_assert_eq!(&got, &batch, "prefix diverges at block {}", block);
+                }
+                Err(_) => {
+                    prop_assert!(
+                        farima_via_circulant(h, 1.0, block, seed).is_err(),
+                        "batch accepted but stream rejected block {}", block
+                    );
+                }
+            }
         }
     }
 

@@ -122,9 +122,10 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
 
     let n = xs.len();
     // The four ensemble members are independent; run them on the worker
-    // pool. par_map returns results in chain order regardless of which
-    // thread finishes first, so the headline choice (first success in
-    // chain order) is identical to the serial run.
+    // pool when the series is long enough to amortize the spawn cost
+    // (work ≈ n per member). par_map returns results in chain order
+    // regardless of which thread finishes first, so the headline choice
+    // (first success in chain order) is identical to the serial run.
     const CHAIN: [EstimatorKind; 4] = [
         EstimatorKind::Whittle,
         EstimatorKind::LocalWhittle,
@@ -132,7 +133,7 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
         EstimatorKind::VarianceTime,
     ];
     let attempts: Vec<(EstimatorKind, Result<f64, LrdError>)> =
-        vbr_stats::par::par_map(&CHAIN, |&kind| {
+        vbr_stats::par::par_map_sized(n.saturating_mul(CHAIN.len()), &CHAIN, |&kind| {
             let outcome = match kind {
                 EstimatorKind::Whittle => {
                     try_whittle_with(xs, opts.spectral_model).map(|e| e.hurst)

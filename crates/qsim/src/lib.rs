@@ -37,7 +37,10 @@ pub use analytic::{fbm_variance_coef, md1_mean_queue, md1_mean_wait_in_service_u
 pub use cell::{simulate_cells, CellQueue, CellSimResult, CellSpacing, ATM_CELL_BYTES, ATM_PAYLOAD_BYTES};
 pub use error::QsimError;
 pub use metrics::{worst_window_loss, DelayStats, SimResult};
-pub use mux::{aggregate_arrivals, aggregate_arrivals_multi, draw_offsets, lag_combinations, LagCombination};
+pub use mux::{
+    aggregate_arrivals, aggregate_arrivals_multi, draw_offsets, lag_combinations, ArrivalCursor,
+    LagCombination,
+};
 pub use priority::{simulate_layered, LayeredResult, PriorityQueue};
 pub use shaping::{min_cbr_rate, smooth_to_cbr, SmoothingResult};
 pub use qc::{qc_curve, AveragedLoss, LossMetric, LossTarget, MuxSim, QcPoint};

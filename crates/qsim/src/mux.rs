@@ -79,6 +79,108 @@ pub fn aggregate_arrivals(trace: &Trace, lags: &LagCombination) -> Vec<f64> {
     out
 }
 
+/// Single-pass aggregate-arrival generator: walks the trace once with
+/// one wrap-around cursor per source instead of materializing an offset
+/// copy of the trace per lag combination. Yields exactly one aggregate
+/// value per slice slot (`len()` of them), bit-identical to
+/// [`aggregate_arrivals`] — per slot, sources are accumulated in offset
+/// order, the same float-op order as the materializing sweep.
+///
+/// Memory is `O(n_sources)` beyond the borrowed trace, which is what
+/// lets multi-million-slot Q-C sweeps run in `O(block)` space: the six
+/// lag combinations each cost six cursors, not six trace-sized vectors.
+#[derive(Debug, Clone)]
+pub struct ArrivalCursor<'a> {
+    slices: &'a [u32],
+    /// Per-source read position, pre-advanced to the source's offset.
+    cursors: Vec<usize>,
+    emitted: usize,
+}
+
+impl<'a> ArrivalCursor<'a> {
+    /// Positions one cursor per source at its slice offset.
+    pub fn new(trace: &'a Trace, lags: &LagCombination) -> Self {
+        let slices = trace.slice_bytes();
+        let n = slices.len();
+        let spf = trace.slices_per_frame();
+        let cursors = lags.offsets.iter().map(|&off| (off * spf) % n).collect();
+        ArrivalCursor { slices, cursors, emitted: 0 }
+    }
+
+    /// Total slots the cursor will yield (the trace length in slices).
+    pub fn len(&self) -> usize {
+        self.slices.len()
+    }
+
+    /// Slots not yet yielded.
+    pub fn remaining(&self) -> usize {
+        self.slices.len() - self.emitted
+    }
+
+    /// Whether the sweep is complete.
+    pub fn is_empty(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// Fills `out` with the next aggregate slots, returning how many
+    /// were written (short only at the end of the sweep). Equivalent to
+    /// the [`Iterator`] path but amortises the wrap bookkeeping over
+    /// contiguous runs, so the inner loop is a straight sum.
+    pub fn next_block(&mut self, out: &mut [f64]) -> usize {
+        let n = self.slices.len();
+        let take = out.len().min(n - self.emitted);
+        let out = &mut out[..take];
+        out.fill(0.0);
+        for c in &mut self.cursors {
+            let mut filled = 0;
+            let mut idx = *c;
+            while filled < take {
+                let run = (take - filled).min(n - idx);
+                for (o, &s) in out[filled..filled + run].iter_mut().zip(&self.slices[idx..idx + run])
+                {
+                    *o += s as f64;
+                }
+                idx += run;
+                if idx == n {
+                    idx = 0;
+                }
+                filled += run;
+            }
+            *c = idx;
+        }
+        self.emitted += take;
+        take
+    }
+}
+
+impl Iterator for ArrivalCursor<'_> {
+    type Item = f64;
+
+    fn next(&mut self) -> Option<f64> {
+        let n = self.slices.len();
+        if self.emitted == n {
+            return None;
+        }
+        let mut sum = 0.0;
+        for c in &mut self.cursors {
+            sum += self.slices[*c] as f64;
+            *c += 1;
+            if *c == n {
+                *c = 0;
+            }
+        }
+        self.emitted += 1;
+        Some(sum)
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let r = self.remaining();
+        (r, Some(r))
+    }
+}
+
+impl ExactSizeIterator for ArrivalCursor<'_> {}
+
 /// Sums one offset copy of *each* trace — heterogeneous multiplexing
 /// (e.g. movies mixed with videoconference sources). All traces must
 /// share the slice geometry; each wraps around independently, and the
@@ -189,6 +291,48 @@ mod tests {
         // Totals: 2 copies of a's 40 bytes + one pass of b's 36.
         let total: f64 = agg.iter().sum();
         assert_eq!(total, 80.0 + 36.0);
+    }
+
+    #[test]
+    fn cursor_matches_materialized_aggregation() {
+        let t = toy_trace();
+        for offsets in [vec![0], vec![1], vec![0, 2, 4], vec![5, 3, 1, 0]] {
+            let lags = LagCombination { offsets };
+            let want = aggregate_arrivals(&t, &lags);
+            let got: Vec<f64> = ArrivalCursor::new(&t, &lags).collect();
+            assert_eq!(got, want, "offsets {:?}", lags.offsets);
+        }
+    }
+
+    #[test]
+    fn cursor_block_path_matches_iterator_path() {
+        let t = toy_trace();
+        let lags = LagCombination { offsets: vec![0, 5] }; // wraps mid-trace
+        let want: Vec<f64> = ArrivalCursor::new(&t, &lags).collect();
+        let mut cursor = ArrivalCursor::new(&t, &lags);
+        let mut got = Vec::new();
+        let mut buf = [0.0; 5]; // 12 slots in blocks of 5: last block short
+        loop {
+            let k = cursor.next_block(&mut buf);
+            if k == 0 {
+                break;
+            }
+            got.extend_from_slice(&buf[..k]);
+        }
+        assert_eq!(got, want);
+        assert!(cursor.is_empty());
+    }
+
+    #[test]
+    fn cursor_is_exact_size() {
+        let t = toy_trace();
+        let mut c = ArrivalCursor::new(&t, &LagCombination { offsets: vec![0, 1] });
+        assert_eq!(c.len(), 12);
+        assert_eq!(c.size_hint(), (12, Some(12)));
+        c.next();
+        assert_eq!(c.remaining(), 11);
+        assert_eq!(c.by_ref().count(), 11);
+        assert_eq!(c.next(), None); // fused: stays exhausted
     }
 
     #[test]

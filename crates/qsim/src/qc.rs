@@ -4,10 +4,15 @@
 
 use crate::error::QsimError;
 use crate::metrics::SimResult;
-use crate::mux::{aggregate_arrivals, lag_combinations, LagCombination};
+use crate::mux::{lag_combinations, ArrivalCursor, LagCombination};
 use crate::queue::FluidQueue;
 use vbr_stats::error::{DataError, NumericError};
 use vbr_video::Trace;
+
+/// Slots per streaming chunk: the working-set size of every sweep in
+/// this module. Big enough that the per-chunk cursor bookkeeping is
+/// noise, small enough (32 KiB) to stay cache-resident.
+const STREAM_CHUNK: usize = 4096;
 
 /// Which loss statistic a capacity search targets.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -27,8 +32,11 @@ pub enum LossTarget {
     Rate(f64),
 }
 
-/// A prepared multiplexing experiment: N offset copies of a trace with
-/// the aggregate arrival series precomputed per lag combination.
+/// A prepared multiplexing experiment: N wrap-around offset copies of a
+/// borrowed trace. Aggregate arrival series are never materialized —
+/// every run streams them through per-source wrap cursors
+/// ([`ArrivalCursor`]) in cache-sized chunks, so a sweep costs
+/// `O(slots)` time and `O(chunk)` memory however long the trace.
 ///
 /// ```
 /// use vbr_qsim::MuxSim;
@@ -42,26 +50,26 @@ pub enum LossTarget {
 /// assert_eq!(sim.run(sim.peak_slot_rate(), 0.0).p_l, 0.0);
 /// ```
 #[derive(Debug, Clone)]
-pub struct MuxSim {
+pub struct MuxSim<'a> {
+    trace: &'a Trace,
     n_sources: usize,
     dt: f64,
     mean_rate: f64,
     peak_slot_rate: f64,
-    aggregates: Vec<Vec<f64>>,
     combos: Vec<LagCombination>,
 }
 
-impl MuxSim {
+impl<'a> MuxSim<'a> {
     /// Prepares the experiment. Applies the paper's rules: offsets ≥ 1000
     /// frames apart, 6 random lag combinations for N > 2.
-    pub fn new(trace: &Trace, n_sources: usize, seed: u64) -> Self {
+    pub fn new(trace: &'a Trace, n_sources: usize, seed: u64) -> Self {
         assert!(n_sources >= 1);
         Self::try_new(trace, n_sources, seed).unwrap_or_else(|e| panic!("MuxSim::new: {e}"))
     }
 
     /// Fallible [`new`](Self::new): rejects zero sources and an empty
     /// trace with typed errors.
-    pub fn try_new(trace: &Trace, n_sources: usize, seed: u64) -> Result<Self, QsimError> {
+    pub fn try_new(trace: &'a Trace, n_sources: usize, seed: u64) -> Result<Self, QsimError> {
         if n_sources == 0 {
             return Err(QsimError::NoSources);
         }
@@ -70,20 +78,39 @@ impl MuxSim {
         }
         let min_sep = if n_sources == 1 { 0 } else { 1000.min(trace.frames() / (2 * n_sources)) };
         let combos = lag_combinations(n_sources, trace.frames(), min_sep, seed);
-        // The six lag combinations are independent O(N·slices) sums;
-        // build them on the worker pool (combo order is preserved).
-        let aggregates: Vec<Vec<f64>> =
-            vbr_stats::par::par_map(&combos, |c| aggregate_arrivals(trace, c));
+        // One streaming pass per combination for the rate summaries —
+        // independent sweeps, so they run on the worker pool when the
+        // trace is long enough to amortize the spawn cost (combo order
+        // is preserved; sums are left-to-right per combo, keeping the
+        // rates bit-identical to a serial materializing build).
         let dt = trace.slice_duration();
-        let total_bytes: f64 = aggregates[0].iter().sum();
-        let mean_rate = total_bytes / (aggregates[0].len() as f64 * dt);
-        let peak_slot_rate = aggregates
-            .iter()
-            .flat_map(|a| a.iter())
-            .cloned()
-            .fold(0.0f64, f64::max)
-            / dt;
-        Ok(MuxSim { n_sources, dt, mean_rate, peak_slot_rate, aggregates, combos })
+        let work = trace.slice_bytes().len().saturating_mul(combos.len());
+        let per_combo: Vec<(f64, f64)> = vbr_stats::par::par_map_sized(work, &combos, |c| {
+            let mut cursor = ArrivalCursor::new(trace, c);
+            let mut buf = [0.0f64; STREAM_CHUNK];
+            let mut total = 0.0f64;
+            let mut peak = 0.0f64;
+            loop {
+                let k = cursor.next_block(&mut buf);
+                if k == 0 {
+                    break;
+                }
+                for &a in &buf[..k] {
+                    total += a;
+                    peak = peak.max(a);
+                }
+            }
+            (total, peak)
+        });
+        let slots = trace.slice_bytes().len();
+        let mean_rate = per_combo[0].0 / (slots as f64 * dt);
+        let peak_slot_rate = per_combo.iter().map(|&(_, p)| p).fold(0.0f64, f64::max) / dt;
+        Ok(MuxSim { trace, n_sources, dt, mean_rate, peak_slot_rate, combos })
+    }
+
+    /// The borrowed arrival trace.
+    pub fn trace(&self) -> &'a Trace {
+        self.trace
     }
 
     /// Number of multiplexed sources.
@@ -113,49 +140,68 @@ impl MuxSim {
     }
 
     /// Runs one combination, returning full per-slot records including
-    /// the backlog (so delay statistics are available).
+    /// the backlog (so delay statistics are available). This is the one
+    /// path that still materializes per-slot series — its *output* is
+    /// `O(slots)` by contract.
     pub fn run_single(&self, combo: usize, capacity_bps: f64, buffer_bytes: f64) -> SimResult {
-        let agg = &self.aggregates[combo];
+        let cursor = ArrivalCursor::new(self.trace, &self.combos[combo]);
+        let n = cursor.len();
         let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
-        let mut loss = Vec::with_capacity(agg.len());
-        let mut backlog = Vec::with_capacity(agg.len());
-        for &a in agg {
+        let mut loss = Vec::with_capacity(n);
+        let mut backlog = Vec::with_capacity(n);
+        let mut arrivals = Vec::with_capacity(n);
+        for a in cursor {
             loss.push(q.step(a, self.dt));
             backlog.push(q.backlog());
+            arrivals.push(a);
         }
-        SimResult::new(loss, agg.clone(), self.dt).with_backlog(backlog)
+        SimResult::new(loss, arrivals, self.dt).with_backlog(backlog)
     }
 
     /// Runs all combinations and averages the loss metrics (the paper
     /// averages the resulting loss rates over the 6 lag combinations).
     ///
-    /// Metrics are accumulated streaming — no per-slot allocation — since
-    /// the Q-C searches call this thousands of times over multi-million-
-    /// slot series.
+    /// Metrics are accumulated streaming — the aggregate series is
+    /// regenerated through wrap cursors in cache-sized chunks, with no
+    /// per-slot allocation — since the Q-C searches call this thousands
+    /// of times over multi-million-slot series.
     pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
         // Overload is deliberately legal here (transient studies run below
         // the mean rate); `try_run` is the variant that rejects it.
         //
         // Each combination is an independent queue replay, so the (up to
-        // six) replays run on the worker pool; the metrics come back in
+        // six) replays run on the worker pool when the trace is long
+        // enough to amortize the spawn cost; the metrics come back in
         // combo order and are summed left-to-right, making the averages
         // bit-identical to the serial loop.
         let slots_per_sec = (1.0 / self.dt).round() as usize;
+        let work = self.trace.slice_bytes().len().saturating_mul(self.combos.len());
         let per_combo: Vec<(f64, f64)> =
-            vbr_stats::par::par_map(&self.aggregates, |agg| {
+            vbr_stats::par::par_map_sized(work, &self.combos, |combo| {
+                let mut cursor = ArrivalCursor::new(self.trace, combo);
+                let total = cursor.len();
+                let mut buf = [0.0f64; STREAM_CHUNK];
                 let mut q = FluidQueue::new(buffer_bytes, capacity_bps);
                 let mut worst = 0.0f64;
                 let mut win_loss = 0.0;
                 let mut win_arr = 0.0;
-                for (i, &a) in agg.iter().enumerate() {
-                    win_loss += q.step(a, self.dt);
-                    win_arr += a;
-                    if (i + 1) % slots_per_sec == 0 || i + 1 == agg.len() {
-                        if win_arr > 0.0 {
-                            worst = worst.max(win_loss / win_arr);
+                let mut i = 0usize;
+                loop {
+                    let k = cursor.next_block(&mut buf);
+                    if k == 0 {
+                        break;
+                    }
+                    for &a in &buf[..k] {
+                        win_loss += q.step(a, self.dt);
+                        win_arr += a;
+                        i += 1;
+                        if i.is_multiple_of(slots_per_sec) || i == total {
+                            if win_arr > 0.0 {
+                                worst = worst.max(win_loss / win_arr);
+                            }
+                            win_loss = 0.0;
+                            win_arr = 0.0;
                         }
-                        win_loss = 0.0;
-                        win_arr = 0.0;
                     }
                 }
                 (q.loss_rate(), worst)
@@ -166,7 +212,7 @@ impl MuxSim {
             p_l += l;
             p_wes += w;
         }
-        let k = self.aggregates.len() as f64;
+        let k = self.combos.len() as f64;
         AveragedLoss { p_l: p_l / k, p_wes: p_wes / k }
     }
 
@@ -295,8 +341,16 @@ pub fn qc_curve(
     // Each T_max bisection is independent; sweep the grid on the worker
     // pool. The nested `MuxSim::run` parallelism automatically degrades
     // to serial inside these workers, so the thread count stays bounded,
-    // and grid order is preserved in the returned curve.
-    vbr_stats::par::par_map(t_max_grid, |&t| QcPoint {
+    // and grid order is preserved in the returned curve. Each grid point
+    // costs `iterations` full replays of every combination.
+    let work = sim
+        .trace()
+        .slice_bytes()
+        .len()
+        .saturating_mul(sim.combos().len())
+        .saturating_mul(iterations.max(1))
+        .saturating_mul(t_max_grid.len());
+    vbr_stats::par::par_map_sized(work, t_max_grid, |&t| QcPoint {
         t_max_secs: t,
         capacity_per_source: sim.required_capacity(t, target, metric, iterations)
             / sim.n_sources() as f64,

@@ -2,7 +2,7 @@
 //! monotonicity of the fluid queue, and multiplexer invariants.
 
 use proptest::prelude::*;
-use vbr_qsim::{aggregate_arrivals, FluidQueue, LagCombination};
+use vbr_qsim::{aggregate_arrivals, ArrivalCursor, FluidQueue, LagCombination};
 use vbr_video::Trace;
 
 proptest! {
@@ -74,6 +74,44 @@ proptest! {
             "aggregate total {total} vs {}", per_src * n_src as u64
         );
         prop_assert_eq!(agg.len(), slices.len());
+    }
+
+    #[test]
+    fn cursor_aggregation_matches_materialized_exactly(
+        slices in prop::collection::vec(0u32..100_000, 2..400),
+        offsets in prop::collection::vec(0usize..10_000, 0..5),
+        spf in 1usize..5,
+        block in 1usize..70,
+    ) {
+        // The streaming cursor must reproduce `aggregate_arrivals`
+        // bit-for-bit — same per-slot accumulation order — through both
+        // its scalar and block paths, for any offsets. An offset on the
+        // last frame is always included so every case exercises the
+        // wrap-around near the trace end.
+        let len = slices.len() - slices.len() % spf;
+        prop_assume!(len >= spf);
+        let trace = Trace::from_slices(slices[..len].to_vec(), spf, 24.0);
+        let mut offsets: Vec<usize> =
+            offsets.into_iter().map(|o| o % trace.frames()).collect();
+        offsets.push(trace.frames() - 1);
+        let lags = LagCombination { offsets };
+        let want = aggregate_arrivals(&trace, &lags);
+
+        let got_scalar: Vec<f64> = ArrivalCursor::new(&trace, &lags).collect();
+        prop_assert_eq!(&got_scalar, &want);
+
+        let mut cursor = ArrivalCursor::new(&trace, &lags);
+        let mut got_blocks = Vec::with_capacity(want.len());
+        let mut buf = vec![0.0f64; block];
+        loop {
+            let k = cursor.next_block(&mut buf);
+            if k == 0 {
+                break;
+            }
+            got_blocks.extend_from_slice(&buf[..k]);
+        }
+        prop_assert_eq!(&got_blocks, &want);
+        prop_assert!(cursor.is_empty());
     }
 
     #[test]

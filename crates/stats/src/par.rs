@@ -83,6 +83,54 @@ where
     par_map_with(num_threads(), items, f)
 }
 
+/// Total work (in approximate primitive element operations, summed over
+/// all items) below which [`par_map_sized`] runs serially.
+///
+/// The pool is scoped: every parallel call spawns and joins its workers,
+/// which costs on the order of 100 µs. An element operation (a queue
+/// step, a periodogram term, a per-frame generation step) runs in the
+/// nanoseconds, so below a few hundred thousand of them the spawn/join
+/// tax outweighs any speedup — `BENCH_pipeline.json` recorded the
+/// 4-member estimator ensemble at n = 65 536 (work 2¹⁸) running 10 %
+/// *slower* parallel than serial, which puts the break-even above 2¹⁸.
+/// Above the threshold, per-item imbalance, not overhead, is the
+/// limiter.
+pub const MIN_PARALLEL_WORK: usize = 1 << 19;
+
+/// True when the caller (or environment) pinned an explicit thread
+/// count: an active [`with_threads`] scope or a `VBR_THREADS` setting.
+fn threads_pinned() -> bool {
+    THREAD_OVERRIDE.with(|o| o.get()).is_some()
+        || std::env::var_os("VBR_THREADS").is_some()
+}
+
+/// [`par_map`] with a caller-supplied estimate of the total work: the
+/// approximate number of primitive element operations summed over all
+/// items (e.g. `slots × combinations` for queue replays, `series length
+/// × ensemble size` for estimator ensembles). Runs serially — same
+/// values, same order, no worker spawn — when the estimate is below
+/// [`MIN_PARALLEL_WORK`].
+///
+/// An explicit thread configuration always wins: inside a
+/// [`with_threads`] scope or under `VBR_THREADS`, the threshold is
+/// bypassed and the call dispatches exactly like [`par_map`], so tests
+/// and benchmarks can still force pool scheduling on any workload.
+///
+/// Because [`par_map`]'s output is bit-identical to the serial map for
+/// deterministic `f`, the threshold changes scheduling only, never
+/// results.
+pub fn par_map_sized<T, U, F>(work: usize, items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    if work < MIN_PARALLEL_WORK && !threads_pinned() {
+        return items.iter().map(f).collect();
+    }
+    par_map(items, f)
+}
+
 /// [`par_map`] with an explicit worker count, bypassing configuration.
 pub fn par_map_with<T, U, F>(threads: usize, items: &[T], f: F) -> Vec<U>
 where
@@ -159,6 +207,21 @@ mod tests {
             let par = par_map_with(t, &xs, noisy);
             assert_eq!(par, serial, "threads = {t}");
         }
+    }
+
+    #[test]
+    fn sized_threshold_changes_scheduling_not_results() {
+        let xs: Vec<f64> = (0..257).map(|i| i as f64 * 1.7).collect();
+        let serial: Vec<f64> = xs.iter().map(noisy).collect();
+        // Below the threshold (serial path) and above it (pool path)
+        // must agree bit-for-bit.
+        assert_eq!(par_map_sized(0, &xs, noisy), serial);
+        assert_eq!(par_map_sized(MIN_PARALLEL_WORK, &xs, noisy), serial);
+        // A pinned thread count bypasses the threshold (pool path even
+        // for tiny work) without changing values.
+        with_threads(4, || {
+            assert_eq!(par_map_sized(0, &xs, noisy), serial);
+        });
     }
 
     #[test]

@@ -336,11 +336,16 @@ pub fn generate(config: &ScreenplayConfig) -> Trace {
 
 /// Generates one trace per configuration on the worker pool — the
 /// multi-source setup of §5 (e.g. heterogeneous genres feeding one
-/// multiplexer). Each trace is seeded independently by its own config,
-/// so the batch output is bit-identical to calling [`generate`] in a
-/// loop, whatever the thread count.
+/// multiplexer). Small batches (by total slice count) run serially,
+/// since the per-call worker spawn would cost more than it saves. Each
+/// trace is seeded independently by its own config, so the batch output
+/// is bit-identical to calling [`generate`] in a loop, whatever the
+/// thread count or dispatch choice.
 pub fn generate_batch(configs: &[ScreenplayConfig]) -> Vec<Trace> {
-    vbr_stats::par::par_map(configs, generate)
+    let work = configs
+        .iter()
+        .fold(0usize, |acc, c| acc.saturating_add(c.frames.saturating_mul(c.slices_per_frame)));
+    vbr_stats::par::par_map_sized(work, configs, generate)
 }
 
 #[cfg(test)]

@@ -49,7 +49,10 @@ pub use vbr_video::Trace;
 
 /// Everything a typical user needs, in one import.
 pub mod prelude {
-    pub use vbr_fgn::{DaviesHarte, FgnError, Hosking, MarginalTransform, RobustFgn, TableMode};
+    pub use vbr_fgn::{
+        BlockSource, DaviesHarte, FarimaStream, FgnError, FgnStream, Hosking,
+        MarginalTransform, RobustFgn, TableMode,
+    };
     pub use vbr_lrd::{
         hurst_report, robust_hurst, rs_analysis, variance_time, whittle_log, EstimatorKind,
         HurstReport, LrdError, ReportOptions, RobustHurst, RsOptions, VtOptions,
@@ -58,11 +61,14 @@ pub mod prelude {
         estimate_trace, try_estimate_series, try_estimate_trace, EstimateOptions, HurstMethod,
         ModelError, ModelParams, SourceModel,
     };
-    pub use vbr_qsim::{qc_curve, smg_curve, LossMetric, LossTarget, MuxSim, QsimError};
+    pub use vbr_qsim::{
+        qc_curve, smg_curve, ArrivalCursor, FluidQueue, LossMetric, LossTarget, MuxSim,
+        QsimError,
+    };
     pub use vbr_stats::dist::{ContinuousDist, Gamma, GammaPareto, Lognormal, Normal, Pareto};
     pub use vbr_stats::{Moments, TraceSummary, Xoshiro256};
     pub use vbr_video::{
-        generate_screenplay, CoderConfig, Frame, IntraframeCoder, SceneSpec,
+        generate_screenplay, generate_screenplay_batch, CoderConfig, Frame, IntraframeCoder, SceneSpec,
         SceneSynthesizer, ScreenplayConfig, Trace,
     };
 }
