@@ -102,12 +102,103 @@ fn bench_special(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_kernels_simd(c: &mut Criterion) {
+    // The four blocked kernels against their scalar twins, fine-grained.
+    let mut g = c.benchmark_group("kernels_simd");
+    let n = 1usize << 16;
+
+    // Bulk standard normals: per-sample scalar draws vs the batch fill.
+    let mut buf = vec![0.0f64; n];
+    g.bench_function("normal_scalar_64k", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            for x in buf.iter_mut() {
+                *x = rng.standard_normal();
+            }
+            black_box(buf[n - 1]);
+        })
+    });
+    g.bench_function("normal_batch_64k", |b| {
+        b.iter(|| {
+            let mut rng = Xoshiro256::seed_from_u64(2);
+            rng.fill_standard_normal(&mut buf);
+            black_box(buf[n - 1]);
+        })
+    });
+
+    // Blocked quantile kernel vs per-element evaluation.
+    let ps: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+    g.bench_function("quantile_scalar_64k", |b| {
+        b.iter(|| {
+            for (o, &p) in buf.iter_mut().zip(&ps) {
+                *o = vbr_stats::norm_quantile(p);
+            }
+            black_box(buf[n - 1]);
+        })
+    });
+    g.bench_function("quantile_slice_64k", |b| {
+        b.iter(|| {
+            buf.copy_from_slice(&ps);
+            vbr_stats::norm_quantile_slice(&mut buf);
+            black_box(buf[n - 1]);
+        })
+    });
+
+    // Radix-4 SoA butterflies vs the scalar radix-2 twin.
+    let fft_n = 1usize << 14;
+    let input: Vec<vbr_fft::Complex> = series(fft_n)
+        .into_iter()
+        .map(vbr_fft::Complex::from_re)
+        .collect();
+    let mut cbuf = input.clone();
+    let plan = vbr_fft::plan_for(fft_n);
+    g.bench_function("fft_radix2_scalar_16k", |b| {
+        b.iter(|| {
+            cbuf.copy_from_slice(&input);
+            vbr_fft::reference_radix2(&mut cbuf, vbr_fft::Direction::Forward);
+        })
+    });
+    g.bench_function("fft_radix4_soa_16k", |b| {
+        b.iter(|| {
+            cbuf.copy_from_slice(&input);
+            plan.process(&mut cbuf, vbr_fft::Direction::Forward);
+        })
+    });
+
+    // FIFO recurrence: per-slot step vs the block pass.
+    let arrivals: Vec<f64> = series(n).iter().map(|v| v.abs() * 1e4).collect();
+    let dt = 1.0 / (24.0 * 30.0);
+    let cap = 27_791.0 / dt * 1.2;
+    g.bench_function("queue_step_64k", |b| {
+        b.iter(|| {
+            let mut q = vbr_qsim::FluidQueue::new(1e6, cap);
+            let mut loss = 0.0;
+            for &a in &arrivals {
+                loss += q.step(a, dt);
+            }
+            black_box(loss);
+        })
+    });
+    g.bench_function("queue_step_block_64k", |b| {
+        b.iter(|| {
+            let mut q = vbr_qsim::FluidQueue::new(1e6, cap);
+            let mut loss = 0.0;
+            for chunk in arrivals.chunks(4096) {
+                loss += q.step_block(chunk, dt);
+            }
+            black_box(loss);
+        })
+    });
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_fft,
     bench_fft_plan,
     bench_acf,
     bench_periodogram,
-    bench_special
+    bench_special,
+    bench_kernels_simd
 );
 criterion_main!(benches);

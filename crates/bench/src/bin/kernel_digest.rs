@@ -1,0 +1,117 @@
+//! Prints a bit-level digest of every vectorised kernel's output on a
+//! fixed workload, one `name digest` line per kernel.
+//!
+//! This is the cross-flag portability gate: the kernels are written as
+//! fixed-lane chunk loops with no runtime CPU dispatch, so their output
+//! must be bit-identical whatever `-C target-cpu` the crate was built
+//! with. CI builds this binary twice — default flags and
+//! `target-cpu=native` — and diffs the output; any difference means a
+//! kernel's arithmetic order leaked a build-flag dependence.
+
+use vbr_fft::{plan_for, Complex, Direction};
+use vbr_fgn::{DaviesHarte, MarginalTransform, TableMode};
+use vbr_qsim::FluidQueue;
+use vbr_stats::dist::GammaPareto;
+use vbr_stats::rng::Xoshiro256;
+use vbr_stats::{norm_quantile_slice, simd};
+
+/// FNV-1a over a stream of u64 words.
+struct Digest(u64);
+
+impl Digest {
+    fn new() -> Self {
+        Digest(0xcbf2_9ce4_8422_2325)
+    }
+
+    fn push(&mut self, word: u64) {
+        const PRIME: u64 = 0x1_0000_01b3;
+        for byte in word.to_le_bytes() {
+            self.0 ^= byte as u64;
+            self.0 = self.0.wrapping_mul(PRIME);
+        }
+    }
+
+    fn push_f64s(&mut self, xs: &[f64]) {
+        for &x in xs {
+            self.push(x.to_bits());
+        }
+    }
+
+    fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+fn main() {
+    let n = 1usize << 16;
+
+    // Batch standard normals (uniform fill + blocked AS241 quantile).
+    let mut rng = Xoshiro256::seed_from_u64(1);
+    let mut normals = vec![0.0f64; n];
+    rng.fill_standard_normal(&mut normals);
+    let mut d = Digest::new();
+    d.push_f64s(&normals);
+    println!("fill_standard_normal {}", d.hex());
+
+    // Blocked quantile kernel on a central + two-tail probability sweep.
+    let mut ps: Vec<f64> = (0..n).map(|i| (i as f64 + 0.5) / n as f64).collect();
+    for i in 0..64 {
+        ps[i] = 10f64.powi(-(i as i32) / 4 - 1);
+        ps[n - 1 - i] = 1.0 - 10f64.powi(-(i as i32) / 4 - 1);
+    }
+    norm_quantile_slice(&mut ps);
+    let mut d = Digest::new();
+    d.push_f64s(&ps);
+    println!("norm_quantile_slice {}", d.hex());
+
+    // Radix-4 SoA FFT, forward and inverse, even and odd log2 n.
+    let mut d = Digest::new();
+    for logn in [12u32, 13] {
+        let m = 1usize << logn;
+        let mut buf: Vec<Complex> = normals[..m].iter().map(|&x| Complex::from_re(x)).collect();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            plan_for(m).process(&mut buf, dir);
+            for z in &buf {
+                d.push(z.re.to_bits());
+                d.push(z.im.to_bits());
+            }
+        }
+    }
+    println!("fft_radix4 {}", d.hex());
+
+    // Gamma/Pareto marginal transform through the blocked table kernel,
+    // fed by the batched Davies-Harte generator (whole pipeline bits).
+    let gauss = DaviesHarte::new(0.8, 1.0).generate(n, 7);
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+    let mut traffic = gauss;
+    xform.map_inplace(&mut traffic);
+    let mut d = Digest::new();
+    d.push_f64s(&traffic);
+    println!("marginal_table {}", d.hex());
+
+    // FIFO block recurrence over the generated traffic.
+    let dt = 1.0 / (24.0 * 30.0);
+    let mut q = FluidQueue::new(1e6, 27_791.0 / dt * 1.05);
+    let mut d = Digest::new();
+    for chunk in traffic.chunks(4096) {
+        d.push(q.step_block(chunk, dt).to_bits());
+    }
+    d.push(q.backlog().to_bits());
+    d.push(q.arrived().to_bits());
+    d.push(q.lost().to_bits());
+    d.push(q.served().to_bits());
+    println!("queue_step_block {}", d.hex());
+
+    // SoA helper kernels.
+    let words: Vec<u32> = normals.iter().map(|&x| x.to_bits() as u32).collect();
+    let mut acc = vec![0.0f64; n];
+    simd::accumulate_u32(&mut acc, &words);
+    let mut scaled = vec![0.0f64; n];
+    simd::scale_into(&mut scaled, &normals, std::f64::consts::PI);
+    let mut d = Digest::new();
+    d.push_f64s(&acc);
+    d.push_f64s(&scaled);
+    d.push(simd::sum_sequential(&normals).to_bits());
+    println!("simd_helpers {}", d.hex());
+}

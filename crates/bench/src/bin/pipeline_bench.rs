@@ -18,9 +18,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use vbr_bench::perf::{time_median, PerfReport};
+use vbr_bench::perf::{rustc_version, time_median, PerfReport};
 use vbr_bench::{Corruption, FaultInjector};
-use vbr_fft::{fft_pow2_in_place, Complex, Direction, FftPlan};
+use vbr_fft::{fft_pow2_in_place, reference_radix2, Complex, Direction, FftPlan};
 use vbr_fgn::{DaviesHarte, FgnStream, MarginalTransform, TableMode};
 use vbr_lrd::{
     robust_hurst, whittle_objective_direct, SpectralModel, WhittleObjective,
@@ -28,7 +28,7 @@ use vbr_lrd::{
 use vbr_qsim::{
     aggregate_arrivals, lag_combinations, qc_curve, FluidQueue, LossMetric, LossTarget, MuxSim,
 };
-use vbr_stats::dist::GammaPareto;
+use vbr_stats::dist::{ContinuousDist, GammaPareto};
 use vbr_stats::par::{num_threads, with_threads};
 use vbr_stats::periodogram::Periodogram;
 use vbr_stats::rng::Xoshiro256;
@@ -105,6 +105,7 @@ fn main() -> ExitCode {
 
     let mut report = PerfReport::new();
     bench_kernels(&sizes, &mut report);
+    bench_kernels_simd(&sizes, &mut report);
     bench_estimators(&sizes, &mut report);
     bench_simulation(&sizes, &mut report);
     bench_streaming(&sizes, &mut report);
@@ -112,7 +113,7 @@ fn main() -> ExitCode {
 
     let path = out.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
     if !test_mode || path.as_os_str() != "BENCH_pipeline.json" {
-        match report.write(&path, threads) {
+        match report.write(&path, threads, &rustc_version()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
                 eprintln!("cannot write {}: {e}", path.display());
@@ -282,6 +283,7 @@ fn bench_kernels(sizes: &Sizes, report: &mut PerfReport) {
         "fft_legacy_vs_plan_table",
         t_legacy,
         t_plan,
+        (1, sizes.reps),
         &format!("radix-2 forward FFT, n={n}; baseline recomputes twiddles by accumulation every call"),
     );
 
@@ -301,6 +303,7 @@ fn bench_kernels(sizes: &Sizes, report: &mut PerfReport) {
         "fft_plan_cold_vs_cached",
         t_cold,
         t_cached,
+        (1, sizes.reps),
         &format!("same-size repeated FFT, n={n}; baseline rebuilds bit-rev + twiddle tables per call"),
     );
 
@@ -324,7 +327,250 @@ fn bench_kernels(sizes: &Sizes, report: &mut PerfReport) {
         "davies_harte_cold_vs_memoized",
         t_cold_gen,
         t_warm_gen,
+        (1, sizes.reps),
         &format!("fGn generation, n={gen_n}; baseline rebuilds the circulant spectrum every call"),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// SIMD-kernels tier: each vectorised hot loop against the verbatim
+// pre-optimisation scalar path it replaced.
+// ---------------------------------------------------------------------------
+
+/// The pre-batch inverse normal CDF: Acklam's rational approximation
+/// followed by one Halley refinement against the library `norm_cdf`.
+/// Kept verbatim as the baseline for the blocked AS241 quantile kernel.
+fn legacy_norm_quantile(p: f64) -> f64 {
+    const A: [f64; 6] = [
+        -3.969_683_028_665_376e1,
+        2.209_460_984_245_205e2,
+        -2.759_285_104_469_687e2,
+        1.383_577_518_672_69e2,
+        -3.066_479_806_614_716e1,
+        2.506_628_277_459_239,
+    ];
+    const B: [f64; 5] = [
+        -5.447_609_879_822_406e1,
+        1.615_858_368_580_409e2,
+        -1.556_989_798_598_866e2,
+        6.680_131_188_771_972e1,
+        -1.328_068_155_288_572e1,
+    ];
+    const C: [f64; 6] = [
+        -7.784_894_002_430_293e-3,
+        -3.223_964_580_411_365e-1,
+        -2.400_758_277_161_838,
+        -2.549_732_539_343_734,
+        4.374_664_141_464_968,
+        2.938_163_982_698_783,
+    ];
+    const D: [f64; 4] = [
+        7.784_695_709_041_462e-3,
+        3.224_671_290_700_398e-1,
+        2.445_134_137_142_996,
+        3.754_408_661_907_416,
+    ];
+    const P_LOW: f64 = 0.024_25;
+
+    let x = if p < P_LOW {
+        let q = (-2.0 * p.ln()).sqrt();
+        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    } else if p <= 1.0 - P_LOW {
+        let q = p - 0.5;
+        let r = q * q;
+        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
+            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    } else {
+        let q = (-2.0 * (1.0 - p).ln()).sqrt();
+        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
+            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
+    };
+
+    let e = vbr_stats::norm_cdf(x) - p;
+    let u = e / vbr_stats::norm_pdf(x);
+    x - u / (1.0 + x * u / 2.0)
+}
+
+/// The pre-slopes marginal table: grid lookup, knot walk, and the
+/// division-form interpolation `t[i] + frac * (t[i+1] - t[i])` with
+/// `frac = (z - zk[i]) / (zk[i+1] - zk[i])` per sample. Rebuilt from
+/// the public quantile functions with the same knot layout the
+/// transform uses.
+struct LegacyTableTransform {
+    table: Vec<f64>,
+    zknots: Vec<f64>,
+    zgrid: Vec<u32>,
+    zgrid_lo: f64,
+    zgrid_inv_step: f64,
+}
+
+impl LegacyTableTransform {
+    fn new(target: &GammaPareto, n: usize) -> Self {
+        let (table, zknots): (Vec<f64>, Vec<f64>) = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                (target.quantile(u), vbr_stats::norm_quantile(u))
+            })
+            .unzip();
+        let (lo, hi) = (zknots[0], zknots[n - 1]);
+        let cells = 2 * n;
+        let step = (hi - lo) / cells as f64;
+        let mut zgrid = Vec::with_capacity(cells);
+        let mut i = 0u32;
+        for g in 0..cells {
+            let edge = lo + g as f64 * step;
+            while (i as usize + 1) < n && zknots[i as usize + 1] <= edge {
+                i += 1;
+            }
+            zgrid.push(i);
+        }
+        LegacyTableTransform { table, zknots, zgrid, zgrid_lo: lo, zgrid_inv_step: 1.0 / step }
+    }
+
+    fn map(&self, z: f64) -> f64 {
+        let (t, zk) = (&self.table, &self.zknots);
+        let n = t.len();
+        if z <= zk[0] {
+            t[0]
+        } else if z >= zk[n - 1] {
+            t[n - 1]
+        } else {
+            let g = ((z - self.zgrid_lo) * self.zgrid_inv_step) as usize;
+            let mut i = self.zgrid[g.min(self.zgrid.len() - 1)] as usize;
+            while zk[i + 1] < z {
+                i += 1;
+            }
+            let frac = (z - zk[i]) / (zk[i + 1] - zk[i]);
+            t[i] + frac * (t[i + 1] - t[i])
+        }
+    }
+}
+
+fn bench_kernels_simd(sizes: &Sizes, report: &mut PerfReport) {
+    let n = sizes.stream_n;
+
+    // Bulk standard-normal generation: one sample at a time through the
+    // Acklam+Halley inverse CDF, vs the batched uniform fill + blocked
+    // AS241 quantile kernel.
+    let mut buf = vec![0.0f64; n];
+    let t_scalar_normal = time_median(1, sizes.reps, || {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        for x in buf.iter_mut() {
+            *x = legacy_norm_quantile(rng.open01());
+        }
+        std::hint::black_box(buf[n - 1]);
+    });
+    let t_batch_normal = time_median(1, sizes.reps, || {
+        let mut rng = Xoshiro256::seed_from_u64(11);
+        rng.fill_standard_normal(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    report.record_vs(
+        "kernels_simd",
+        "bulk_normal_acklam_vs_batch_as241",
+        t_scalar_normal,
+        t_batch_normal,
+        (1, sizes.reps),
+        &format!(
+            "{n} standard normals; baseline is the per-sample Acklam inverse CDF with a \
+             Halley step (norm_cdf + norm_pdf per draw), new path fills uniforms then runs \
+             the blocked AS241 quantile kernel"
+        ),
+    );
+
+    // FFT butterflies: the stage-by-stage radix-2 scalar twin vs the
+    // radix-4 SoA kernel, both on precomputed plan tables.
+    let fft_n = sizes.fft_n;
+    let mut rng = Xoshiro256::seed_from_u64(12);
+    let input: Vec<Complex> =
+        (0..fft_n).map(|_| Complex::from_re(rng.standard_normal())).collect();
+    let mut cbuf = input.clone();
+    let plan = vbr_fft::plan_for(fft_n);
+    let t_radix2 = time_median(1, sizes.reps, || {
+        cbuf.copy_from_slice(&input);
+        reference_radix2(&mut cbuf, Direction::Forward);
+    });
+    let t_radix4 = time_median(1, sizes.reps, || {
+        cbuf.copy_from_slice(&input);
+        plan.process(&mut cbuf, Direction::Forward);
+    });
+    report.record_vs(
+        "kernels_simd",
+        "fft_radix2_scalar_vs_radix4_soa",
+        t_radix2,
+        t_radix4,
+        (1, sizes.reps),
+        &format!(
+            "forward FFT, n={fft_n}; baseline is the scalar radix-2 twin (tabulated \
+             twiddles), new kernel runs radix-4 butterflies over split re/im twiddle tables"
+        ),
+    );
+
+    // Marginal transform: division-form per-sample table walk vs the
+    // slope-table blocked kernel.
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+    let legacy = LegacyTableTransform::new(&target, 10_000);
+    let mut rng = Xoshiro256::seed_from_u64(13);
+    let gauss: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+    let t_walk = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&gauss);
+        for x in buf.iter_mut() {
+            *x = legacy.map(*x);
+        }
+        std::hint::black_box(buf[n - 1]);
+    });
+    let t_blocked = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&gauss);
+        xform.map_inplace(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    report.record_vs(
+        "kernels_simd",
+        "marginal_table_walk_vs_blocked",
+        t_walk,
+        t_blocked,
+        (1, sizes.reps),
+        &format!(
+            "{n} samples through the 10000-point Gamma/Pareto table; baseline interpolates \
+             with a division per sample, blocked kernel uses precomputed slopes in \
+             4-lane chunks"
+        ),
+    );
+
+    // FIFO recurrence: per-slot `step` calls vs the block pass that
+    // pre-aggregates arrivals and runs the clamp recurrence over a slice.
+    let dt = 1.0 / (24.0 * 30.0);
+    let cap = 27_791.0 / dt * 1.2;
+    let arrivals: Vec<f64> = gauss.iter().map(|g| g.abs() * 1e4).collect();
+    let t_step = time_median(1, sizes.reps, || {
+        let mut q = FluidQueue::new(1e6, cap);
+        let mut loss = 0.0;
+        for &a in &arrivals {
+            loss += q.step(a, dt);
+        }
+        std::hint::black_box(loss);
+    });
+    let t_block = time_median(1, sizes.reps, || {
+        let mut q = FluidQueue::new(1e6, cap);
+        let mut loss = 0.0;
+        for chunk in arrivals.chunks(4096) {
+            loss += q.step_block(chunk, dt);
+        }
+        std::hint::black_box(loss);
+    });
+    report.record_vs(
+        "kernels_simd",
+        "queue_scalar_step_vs_step_block",
+        t_step,
+        t_block,
+        (1, sizes.reps),
+        &format!(
+            "{n}-slot FIFO recurrence; baseline calls step() per slot, block path \
+             aggregates arrivals in vectorizable passes and runs the scalar clamp \
+             recurrence over 4096-slot chunks"
+        ),
     );
 }
 
@@ -361,6 +607,7 @@ fn bench_estimators(sizes: &Sizes, report: &mut PerfReport) {
             &format!("whittle_objective_{model:?}_direct_vs_fast").to_lowercase(),
             t_direct,
             t_fast,
+            (1, sizes.reps),
             &format!(
                 "200 objective evaluations (one search), n={}; fast path includes table build",
                 sizes.whittle_n
@@ -394,6 +641,7 @@ fn bench_estimators(sizes: &Sizes, report: &mut PerfReport) {
         "robust_hurst_forced_parallel_vs_auto",
         t_forced,
         t_auto,
+        (2, sizes.reps.max(9)),
         &format!(
             "4 calls, 4-member ensemble, n={ens_n}; baseline pins a 4-worker pool (the old \
              always-fork scheduler, one spawn/join per call), auto applies the \
@@ -470,6 +718,7 @@ fn bench_simulation(sizes: &Sizes, report: &mut PerfReport) {
         "mux_run_materialized_vs_streaming",
         t_materialized,
         t_streaming,
+        (1, sizes.reps),
         &format!(
             "6 lag combinations x {slots} slots, construction + one run; baseline materializes \
              every aggregate series (pre-streaming MuxSim), new path streams wrap cursors"
@@ -501,6 +750,7 @@ fn bench_simulation(sizes: &Sizes, report: &mut PerfReport) {
         "screenplay_batch_forced_parallel_vs_auto",
         t_batch_forced,
         t_batch_auto,
+        (2, sizes.reps.max(9)),
         &format!(
             "8 batches of 4 sources x {small_frames} frames; baseline pins a 4-worker pool \
              (old always-fork scheduler), auto applies the par_map_sized work threshold"
@@ -566,6 +816,7 @@ fn bench_streaming(sizes: &Sizes, report: &mut PerfReport) {
         "generate_marginal_batch_vs_stream",
         t_gen_batch,
         t_gen_stream,
+        (1, reps),
         &format!(
             "one-shot fGn -> Gamma/Pareto traffic, n={n}, fresh (H, n) per call; baseline \
              builds a {}-point embedding and two n-vectors, stream windows {}-point \
@@ -607,6 +858,7 @@ fn bench_streaming(sizes: &Sizes, report: &mut PerfReport) {
         "pipeline_batch_vs_stream",
         t_e2e_batch,
         t_e2e_stream,
+        (1, reps),
         &format!(
             "one-shot generate -> transform -> queue, n={n}, fresh (H, n) per call; stream \
              peak live state is one {block}-sample block + one {chunk}-sample chunk"

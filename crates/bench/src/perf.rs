@@ -30,6 +30,19 @@ pub fn time_median<F: FnMut()>(warmup: usize, reps: usize, mut f: F) -> f64 {
     samples[samples.len() / 2]
 }
 
+/// The `rustc --version` string of the toolchain on `PATH`, so a checked
+/// in report records which compiler produced the timed code ("unknown"
+/// when rustc cannot be invoked).
+pub fn rustc_version() -> String {
+    std::process::Command::new("rustc")
+        .arg("--version")
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .map(|o| String::from_utf8_lossy(&o.stdout).trim().to_string())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
 /// One benchmark result: a measured time, optionally compared to a
 /// baseline measurement of the same work done the old/serial way.
 #[derive(Debug, Clone)]
@@ -42,6 +55,10 @@ pub struct PerfEntry {
     pub secs: f64,
     /// Median seconds of the baseline (old/serial) path, if compared.
     pub baseline_secs: Option<f64>,
+    /// Untimed runs before measurement started.
+    pub warmup: usize,
+    /// Timed repetitions the median was taken over.
+    pub reps: usize,
     /// Free-form description of the workload and what is compared.
     pub note: String,
 }
@@ -65,24 +82,35 @@ impl PerfReport {
         PerfReport::default()
     }
 
-    /// Records a standalone timing.
-    pub fn record(&mut self, group: &str, name: &str, secs: f64, note: &str) {
+    /// Records a standalone timing measured over `(warmup, reps)` runs.
+    pub fn record(
+        &mut self,
+        group: &str,
+        name: &str,
+        secs: f64,
+        (warmup, reps): (usize, usize),
+        note: &str,
+    ) {
         self.entries.push(PerfEntry {
             group: group.to_string(),
             name: name.to_string(),
             secs,
             baseline_secs: None,
+            warmup,
+            reps,
             note: note.to_string(),
         });
     }
 
-    /// Records a baseline-vs-new comparison.
+    /// Records a baseline-vs-new comparison, both sides measured over
+    /// the same `(warmup, reps)` schedule.
     pub fn record_vs(
         &mut self,
         group: &str,
         name: &str,
         baseline_secs: f64,
         secs: f64,
+        (warmup, reps): (usize, usize),
         note: &str,
     ) {
         self.entries.push(PerfEntry {
@@ -90,6 +118,8 @@ impl PerfReport {
             name: name.to_string(),
             secs,
             baseline_secs: Some(baseline_secs),
+            warmup,
+            reps,
             note: note.to_string(),
         });
     }
@@ -100,11 +130,17 @@ impl PerfReport {
     }
 
     /// Serialises the report (plus host metadata) to pretty JSON.
-    pub fn to_json(&self, host_threads: usize) -> String {
+    ///
+    /// Schema v2 adds the compiler version and, per entry, the
+    /// iteration schedule (`warmup`/`reps`) the median was taken over —
+    /// enough provenance to judge whether two checked-in reports are
+    /// comparable.
+    pub fn to_json(&self, host_threads: usize, rustc: &str) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v1\",");
+        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v2\",");
         let _ = writeln!(s, "  \"host_threads\": {host_threads},");
+        let _ = writeln!(s, "  \"rustc\": {},", json_str(rustc));
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             s.push_str("    {\n");
@@ -125,6 +161,8 @@ impl PerfReport {
                     s.push_str("      \"speedup\": null,\n");
                 }
             }
+            let _ = writeln!(s, "      \"warmup\": {},", e.warmup);
+            let _ = writeln!(s, "      \"reps\": {},", e.reps);
             let _ = writeln!(s, "      \"note\": {}", json_str(&e.note));
             s.push_str(if i + 1 == self.entries.len() { "    }\n" } else { "    },\n" });
         }
@@ -133,8 +171,8 @@ impl PerfReport {
     }
 
     /// Writes the JSON report to `path`.
-    pub fn write(&self, path: &Path, host_threads: usize) -> io::Result<()> {
-        std::fs::write(path, self.to_json(host_threads))
+    pub fn write(&self, path: &Path, host_threads: usize, rustc: &str) -> io::Result<()> {
+        std::fs::write(path, self.to_json(host_threads, rustc))
     }
 
     /// Prints a human-readable summary table to stdout.
@@ -200,17 +238,25 @@ mod tests {
     #[test]
     fn json_report_shape() {
         let mut r = PerfReport::new();
-        r.record("kernels", "fft", 0.5, "plain");
-        r.record_vs("estimators", "whittle", 1.0, 0.25, "note \"quoted\"");
-        let j = r.to_json(4);
-        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v1\""));
+        r.record("kernels", "fft", 0.5, (1, 3), "plain");
+        r.record_vs("estimators", "whittle", 1.0, 0.25, (2, 5), "note \"quoted\"");
+        let j = r.to_json(4, "rustc 1.99.0 (test)");
+        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v2\""));
         assert!(j.contains("\"host_threads\": 4"));
+        assert!(j.contains("\"rustc\": \"rustc 1.99.0 (test)\""));
         assert!(j.contains("\"speedup\": 4.000000000"));
+        assert!(j.contains("\"warmup\": 2"));
+        assert!(j.contains("\"reps\": 5"));
         assert!(j.contains("\\\"quoted\\\""));
         assert!(j.contains("\"baseline_secs\": null"));
         // Balanced braces/brackets — parseable shape.
         assert_eq!(j.matches('{').count(), j.matches('}').count());
         assert_eq!(j.matches('[').count(), j.matches(']').count());
+    }
+
+    #[test]
+    fn rustc_version_is_nonempty() {
+        assert!(!rustc_version().is_empty());
     }
 
     #[test]
@@ -220,6 +266,8 @@ mod tests {
             name: "n".into(),
             secs: 0.5,
             baseline_secs: Some(2.0),
+            warmup: 1,
+            reps: 3,
             note: String::new(),
         };
         assert_eq!(e.speedup(), Some(4.0));

@@ -1,37 +1,52 @@
-//! Precomputed radix-2 FFT plans and a thread-safe plan cache.
+//! Precomputed FFT plans (radix-4 kernel, SoA twiddles) and a
+//! thread-safe plan cache.
 //!
-//! The original kernel recomputed its twiddle factors on every call by
-//! repeated multiplication (`w *= wlen`), which both costs a complex
-//! multiply per butterfly and accumulates rounding error that grows with
-//! the transform length. An [`FftPlan`] precomputes, once per size,
+//! The execution kernel is a radix-4 decimation-in-time pass pipeline
+//! over base-2 bit-reversed data: two consecutive radix-2 stages are
+//! merged into one radix-4 butterfly, halving the number of passes over
+//! the data (and with them half the loads/stores of the classic radix-2
+//! schedule). When `log₂ n` is odd, one trivial twiddle-free radix-2
+//! stage at span 2 runs first, then radix-4 passes at spans 8, 32, …
+//! cover the rest; even `log₂ n` runs radix-4 straight through at spans
+//! 4, 16, …
 //!
-//! - the bit-reversal permutation table, and
-//! - every per-stage twiddle factor, each evaluated *directly* from
-//!   `sin`/`cos` (no accumulation — the worst-case twiddle error is one
-//!   ulp regardless of `n`),
+//! Twiddle factors live in split re/im (structure-of-arrays) tables so
+//! the butterfly loop reads contiguous `f64` lanes instead of
+//! interleaved pairs — the shape LLVM autovectorizes with plain 4-lane
+//! chunk loops and **no** runtime CPU dispatch, keeping results
+//! bit-identical across hosts (see `vbr_stats::simd` and DESIGN.md §11).
+//! Each twiddle is evaluated *directly* from `sin`/`cos` (never by
+//! repeated multiplication), so the worst-case twiddle error is one ulp
+//! regardless of `n`.
 //!
-//! and [`plan_for`] memoizes plans in a global mutex-guarded map so the
+//! [`plan_for`] memoizes plans in a global mutex-guarded map so the
 //! analysis pipeline — which transforms the same handful of sizes
 //! thousands of times (periodograms, Whittle sweeps, Davies–Harte
 //! synthesis, Bluestein convolutions) — pays the setup cost once.
+//!
+//! [`reference_radix2`] keeps the pre-vectorization stage-by-stage
+//! radix-2 kernel as the scalar twin: the property tests compare every
+//! plan output against it at ≤1e-12 relative tolerance.
 
 use crate::complex::Complex;
 use crate::radix2::{is_pow2, Direction};
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// A reusable execution plan for radix-2 FFTs of one fixed size.
+/// A reusable execution plan for power-of-two FFTs of one fixed size.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
     n: usize,
     /// `bit_rev[i]` = bit-reversed index of `i` (length `n`).
     bit_rev: Vec<u32>,
-    /// Forward twiddles, flattened stage-major: for the stage with
-    /// butterfly span `len = 2^(s+1)` the table holds
-    /// `w_i = exp(-2πi·i/len)` for `i in 0..len/2`, so the stage offsets
-    /// are `0, 1, 3, 7, … (2^s − 1)` and the total length is `n − 1`.
-    /// Inverse transforms conjugate on the fly.
-    twiddles: Vec<Complex>,
+    /// Real parts of the radix-4 twiddles, stage-major. For the stage
+    /// with butterfly span `len` (quarter `L = len/4`) the stage block
+    /// is `[w1(L) | w2(L) | w3(L)]` with `wk[j] = exp(-2πi·k·j/len)`;
+    /// stages appear in execution order (span 4 or 8 first). Inverse
+    /// transforms conjugate on the fly.
+    tw_re: Vec<f64>,
+    /// Imaginary parts, same layout as `tw_re`.
+    tw_im: Vec<f64>,
 }
 
 impl FftPlan {
@@ -52,18 +67,26 @@ impl FftPlan {
             *r = j as u32;
         }
 
-        let mut twiddles = Vec::with_capacity(n.saturating_sub(1));
-        let mut len = 2usize;
+        // Radix-4 stage spans: 4, 16, … for even log₂ n; 8, 32, … after
+        // the trivial span-2 stage for odd log₂ n. Total table length is
+        // 3·(L₁ + L₂ + …) ≈ n (same footprint as the radix-2 table).
+        let mut tw_re = Vec::new();
+        let mut tw_im = Vec::new();
+        let mut len = first_radix4_span(n);
         while len <= n {
-            let half = len / 2;
+            let quarter = len / 4;
             let step = -2.0 * std::f64::consts::PI / len as f64;
-            for i in 0..half {
-                twiddles.push(Complex::cis(step * i as f64));
+            for k in 1..=3usize {
+                for j in 0..quarter {
+                    let (s, c) = (step * (k * j) as f64).sin_cos();
+                    tw_re.push(c);
+                    tw_im.push(s);
+                }
             }
-            len <<= 1;
+            len <<= 2;
         }
 
-        FftPlan { n, bit_rev, twiddles }
+        FftPlan { n, bit_rev, tw_re, tw_im }
     }
 
     /// The transform length this plan serves.
@@ -79,21 +102,28 @@ impl FftPlan {
 
     /// In-place forward transform — the zero-allocation entry point used
     /// by the streaming pipeline (`buf` is the caller's reusable block
-    /// buffer; radix-2 needs no separate scratch).
+    /// buffer; the kernel needs no separate scratch).
     #[inline]
     pub fn forward(&self, buf: &mut [Complex]) {
-        self.process(buf, Direction::Forward);
+        self.run::<true>(buf);
     }
 
     /// In-place inverse transform (unnormalised — divide by `len()` for
     /// the true inverse). Zero allocation.
     #[inline]
     pub fn inverse(&self, buf: &mut [Complex]) {
-        self.process(buf, Direction::Inverse);
+        self.run::<false>(buf);
     }
 
     /// In-place transform of `data` (length must equal the plan size).
     pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        match dir {
+            Direction::Forward => self.run::<true>(data),
+            Direction::Inverse => self.run::<false>(data),
+        }
+    }
+
+    fn run<const FWD: bool>(&self, data: &mut [Complex]) {
         let n = self.n;
         assert_eq!(data.len(), n, "plan is for length {n}, got {}", data.len());
         if n <= 1 {
@@ -107,24 +137,156 @@ impl FftPlan {
             }
         }
 
-        let forward = dir == Direction::Forward;
-        let mut len = 2usize;
-        let mut stage_base = 0usize;
-        while len <= n {
-            let half = len / 2;
-            let stage = &self.twiddles[stage_base..stage_base + half];
-            for chunk in data.chunks_mut(len) {
-                for (i, &tw) in stage.iter().enumerate() {
-                    let w = if forward { tw } else { tw.conj() };
-                    let u = chunk[i];
-                    let v = chunk[i + half] * w;
-                    chunk[i] = u + v;
-                    chunk[i + half] = u - v;
-                }
+        // Odd log₂ n: one twiddle-free radix-2 stage (w = 1 throughout,
+        // same for both directions) brings the remaining stage count to
+        // an even number for the radix-4 pipeline.
+        let mut len = first_radix4_span(n);
+        if len == 8 {
+            for pair in data.chunks_exact_mut(2) {
+                let u = pair[0];
+                let v = pair[1];
+                pair[0] = u + v;
+                pair[1] = u - v;
             }
-            stage_base += half;
-            len <<= 1;
+            if n == 2 {
+                return;
+            }
         }
+
+        let mut base = 0usize;
+        while len <= n {
+            let quarter = len / 4;
+            let stage_re = &self.tw_re[base..base + 3 * quarter];
+            let stage_im = &self.tw_im[base..base + 3 * quarter];
+            radix4_stage::<FWD>(data, len, stage_re, stage_im);
+            base += 3 * quarter;
+            len <<= 2;
+        }
+    }
+}
+
+/// Span of the first radix-4 stage for length `n`: 4 when `log₂ n` is
+/// even, 8 when odd (a span-2 radix-2 stage runs first). Returns 8 for
+/// `n = 2` as well, which the caller treats as "radix-2 stage only".
+#[inline]
+fn first_radix4_span(n: usize) -> usize {
+    if n.trailing_zeros().is_multiple_of(2) {
+        4
+    } else {
+        8
+    }
+}
+
+/// One radix-4 pass over every span-`len` chunk of `data`.
+///
+/// The butterfly merges the two radix-2 stages at spans `len/2` and
+/// `len`. With `W = exp(-2πi/len)`, `L = len/4` and sub-blocks
+/// `A,B,C,D` at offsets `0, L, 2L, 3L`:
+///
+/// ```text
+/// out[j]      = (A + W²ʲB) + (WʲC + W³ʲD)
+/// out[j + L]  = (A − W²ʲB) ∓ i(WʲC − W³ʲD)    (− forward, + inverse)
+/// out[j + 2L] = (A + W²ʲB) − (WʲC + W³ʲD)
+/// out[j + 3L] = (A − W²ʲB) ± i(WʲC − W³ʲD)
+/// ```
+///
+/// The inverse additionally conjugates the twiddles. Every output lane
+/// depends only on its own `j`, so results are independent of how the
+/// loop is chunked (the determinism contract for all kernels in this
+/// workspace).
+#[inline]
+fn radix4_stage<const FWD: bool>(data: &mut [Complex], len: usize, w_re: &[f64], w_im: &[f64]) {
+    let quarter = len / 4;
+    let (w1re, rest) = w_re.split_at(quarter);
+    let (w2re, w3re) = rest.split_at(quarter);
+    let (w1im, rest) = w_im.split_at(quarter);
+    let (w2im, w3im) = rest.split_at(quarter);
+
+    for chunk in data.chunks_exact_mut(len) {
+        let (q0, rest) = chunk.split_at_mut(quarter);
+        let (q1, rest) = rest.split_at_mut(quarter);
+        let (q2, q3) = rest.split_at_mut(quarter);
+        for j in 0..quarter {
+            let a = q0[j];
+            let b = q1[j];
+            let c = q2[j];
+            let d = q3[j];
+            let (i1, i2, i3) = if FWD {
+                (w1im[j], w2im[j], w3im[j])
+            } else {
+                (-w1im[j], -w2im[j], -w3im[j])
+            };
+            let (r1, r2, r3) = (w1re[j], w2re[j], w3re[j]);
+            // W²ʲ·B, Wʲ·C, W³ʲ·D in split re/im form.
+            let tb_re = b.re * r2 - b.im * i2;
+            let tb_im = b.re * i2 + b.im * r2;
+            let tc_re = c.re * r1 - c.im * i1;
+            let tc_im = c.re * i1 + c.im * r1;
+            let td_re = d.re * r3 - d.im * i3;
+            let td_im = d.re * i3 + d.im * r3;
+            let s0_re = a.re + tb_re;
+            let s0_im = a.im + tb_im;
+            let s1_re = a.re - tb_re;
+            let s1_im = a.im - tb_im;
+            let s2_re = tc_re + td_re;
+            let s2_im = tc_im + td_im;
+            let s3_re = tc_re - td_re;
+            let s3_im = tc_im - td_im;
+            q0[j] = Complex::new(s0_re + s2_re, s0_im + s2_im);
+            q2[j] = Complex::new(s0_re - s2_re, s0_im - s2_im);
+            if FWD {
+                // ∓i rotation: s1 − i·s3 and s1 + i·s3.
+                q1[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
+                q3[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
+            } else {
+                q1[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
+                q3[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
+            }
+        }
+    }
+}
+
+/// The scalar twin of the plan kernel: the classic stage-by-stage
+/// radix-2 schedule with directly-evaluated twiddles, exactly as the
+/// plan executed it before the radix-4 rewrite.
+///
+/// Kept (and exported) as the property-test oracle — `tests/proptests.rs`
+/// checks every plan output against this at ≤1e-12 relative tolerance.
+/// It allocates its twiddles per call and makes twice the passes over
+/// the data, so production code should always go through [`FftPlan`].
+pub fn reference_radix2(data: &mut [Complex], dir: Direction) {
+    let n = data.len();
+    assert!(is_pow2(n), "radix-2 FFT requires a power-of-two length, got {n}");
+    if n <= 1 {
+        return;
+    }
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    let forward = dir == Direction::Forward;
+    let mut len = 2usize;
+    while len <= n {
+        let half = len / 2;
+        let step = if forward { -2.0 } else { 2.0 } * std::f64::consts::PI / len as f64;
+        let stage: Vec<Complex> = (0..half).map(|i| Complex::cis(step * i as f64)).collect();
+        for chunk in data.chunks_mut(len) {
+            for (i, &w) in stage.iter().enumerate() {
+                let u = chunk[i];
+                let v = chunk[i + half] * w;
+                chunk[i] = u + v;
+                chunk[i + half] = u - v;
+            }
+        }
+        len <<= 1;
     }
 }
 
@@ -159,22 +321,47 @@ pub fn plan_for(n: usize) -> Arc<FftPlan> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::radix2::fft_pow2_in_place;
+
+    fn assert_close_rel(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = b.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() <= tol * scale, "{x:?} vs {y:?} (scale {scale})");
+        }
+    }
 
     #[test]
-    fn plan_matches_kernel_for_all_small_sizes() {
-        for &n in &[1usize, 2, 4, 8, 64, 512, 4096] {
+    fn plan_matches_reference_for_all_small_sizes() {
+        // Covers both parities of log₂ n (pure radix-4 and radix-2+4).
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128, 512, 1024, 4096] {
             let x: Vec<Complex> = (0..n)
                 .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
                 .collect();
             for dir in [Direction::Forward, Direction::Inverse] {
                 let mut via_plan = x.clone();
                 plan_for(n).process(&mut via_plan, dir);
-                let mut via_kernel = x.clone();
-                fft_pow2_in_place(&mut via_kernel, dir);
-                assert_eq!(via_plan, via_kernel, "n={n} {dir:?}");
+                let mut via_ref = x.clone();
+                reference_radix2(&mut via_ref, dir);
+                assert_close_rel(&via_plan, &via_ref, 1e-12);
             }
         }
+    }
+
+    #[test]
+    fn forward_inverse_entry_points_match_process() {
+        let n = 256;
+        let x: Vec<Complex> = (0..n)
+            .map(|i| Complex::new((i as f64 * 0.3).cos(), (i as f64 * 0.9).sin()))
+            .collect();
+        let plan = plan_for(n);
+        let mut a = x.clone();
+        plan.forward(&mut a);
+        let mut b = x.clone();
+        plan.process(&mut b, Direction::Forward);
+        assert_eq!(a, b);
+        plan.inverse(&mut a);
+        plan.process(&mut b, Direction::Inverse);
+        assert_eq!(a, b);
     }
 
     #[test]
@@ -187,13 +374,25 @@ mod tests {
 
     #[test]
     fn twiddle_table_layout() {
+        // n = 8 (odd log₂): trivial span-2 stage, then one radix-4 stage
+        // at span 8 with quarter L = 2 → tables are [w1(2)|w2(2)|w3(2)].
         let p = FftPlan::new(8);
-        // Stages of length 2, 4, 8 hold 1 + 2 + 4 = 7 twiddles.
-        assert_eq!(p.twiddles.len(), 7);
-        // Every stage starts at w_0 = 1.
-        for &base in &[0usize, 1, 3] {
-            assert!((p.twiddles[base] - Complex::ONE).abs() < 1e-15);
+        assert_eq!(p.tw_re.len(), 6);
+        assert_eq!(p.tw_im.len(), 6);
+        // Every sub-table starts at w_0 = 1.
+        for &base in &[0usize, 2, 4] {
+            assert!((p.tw_re[base] - 1.0).abs() < 1e-15);
+            assert!(p.tw_im[base].abs() < 1e-15);
         }
+        // w1[1] = exp(-2πi/8), w2[1] = exp(-2πi·2/8) = -i.
+        let s = std::f64::consts::FRAC_1_SQRT_2;
+        assert!((p.tw_re[1] - s).abs() < 1e-15 && (p.tw_im[1] + s).abs() < 1e-15);
+        assert!(p.tw_re[3].abs() < 1e-15 && (p.tw_im[3] + 1.0).abs() < 1e-15);
+
+        // n = 16 (even log₂): radix-4 stages at spans 4 (L=1) and 16
+        // (L=4) → 3·1 + 3·4 = 15 twiddles.
+        let p = FftPlan::new(16);
+        assert_eq!(p.tw_re.len(), 15);
     }
 
     #[test]
@@ -204,11 +403,9 @@ mod tests {
 
     #[test]
     fn round_trip_accuracy_at_2_pow_20() {
-        // The satellite regression for the twiddle-drift fix: with the
-        // old accumulated twiddles (`w *= wlen`), a 2^20-point transform
-        // drifts visibly; direct tables keep the round-trip at the
-        // few-ulp level. Tolerance is per-point relative to the signal
-        // scale, far below what accumulation error allowed.
+        // Regression for the twiddle-drift fix: with accumulated
+        // twiddles (`w *= wlen`), a 2^20-point transform drifts visibly;
+        // direct tables keep the round-trip at the few-ulp level.
         let n = 1 << 20;
         let x: Vec<Complex> = (0..n)
             .map(|i| {

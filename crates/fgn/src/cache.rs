@@ -58,6 +58,11 @@ fn farima_spectrum_cache() -> &'static VecCache {
     C.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+fn hosking_reflection_cache() -> &'static VecCache {
+    static C: OnceLock<VecCache> = OnceLock::new();
+    C.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
 /// Fetches the key's slot, evicting the whole map first if it has grown
 /// past the bound (entries rebuild on demand; in-flight holders keep
 /// their own `Arc` to the old slot).
@@ -138,6 +143,56 @@ pub fn fgn_circulant_spectrum_cached(hurst: f64, m: usize) -> Result<Arc<Vec<f64
 pub fn farima_circulant_spectrum_cached(d: f64, m: usize) -> Result<Arc<Vec<f64>>, FgnError> {
     memoize_try(farima_spectrum_cache(), (d.to_bits(), m), || {
         circulant_spectrum(&farima_acf_cached(d, m / 2))
+    })
+}
+
+/// The deterministic half of Hosking's Durbin–Levinson recursion
+/// (Eqs 7–10): partial-correlation ("reflection") coefficients
+/// `φ_kk`, `k = 1..n−1`, for the fARIMA(0, d, 0) autocorrelation.
+/// Exactly the arithmetic the generator used to run inline, with the
+/// sample-path terms removed — so the coefficients (and therefore the
+/// generated paths) are bit-identical to the unmemoized recursion.
+fn hosking_reflections(rho: &[f64], n: usize) -> Vec<f64> {
+    let mut refl = Vec::with_capacity(n.saturating_sub(1));
+    // φ_{k,j} from the previous iteration (φ_{k−1,·}, 1-indexed by j).
+    let mut phi_prev: Vec<f64> = Vec::with_capacity(n);
+    let mut phi: Vec<f64> = Vec::with_capacity(n);
+    let mut n_prev = 0.0f64; // N_0 = 0
+    let mut d_prev = 1.0f64; // D_0 = 1
+    for k in 1..n {
+        // Eq (7): N_k = ρ_k − Σ_{j=1}^{k−1} φ_{k−1,j} ρ_{k−j}
+        let mut nk = rho[k];
+        for j in 1..k {
+            nk -= phi_prev[j - 1] * rho[k - j];
+        }
+        // Eq (8): D_k = D_{k−1} − N_{k−1}² / D_{k−1}
+        let dk = d_prev - n_prev * n_prev / d_prev;
+        // Eq (9): φ_kk = N_k / D_k
+        let phi_kk = nk / dk;
+        // Eq (10): φ_kj = φ_{k−1,j} − φ_kk φ_{k−1,k−j}
+        phi.clear();
+        for j in 1..k {
+            phi.push(phi_prev[j - 1] - phi_kk * phi_prev[k - j - 1]);
+        }
+        phi.push(phi_kk);
+        refl.push(phi_kk);
+        std::mem::swap(&mut phi_prev, &mut phi);
+        n_prev = nk;
+        d_prev = dk;
+    }
+    refl
+}
+
+/// Memoized Hosking partial-correlation coefficients `φ_kk` for
+/// `k = 1..n−1` — the `O(n²)` deterministic setup of the exact
+/// generator, shared across repeat `(d, n)` runs. With these in hand a
+/// generation needs only the Eq (10) row update and the Eq (11)
+/// conditional-mean dot product per step; the Eq (7) inner product
+/// against the ACF (half the recursion's flops) is never redone.
+pub fn hosking_reflections_cached(d: f64, n: usize) -> Arc<Vec<f64>> {
+    memoize(hosking_reflection_cache(), (d.to_bits(), n), || {
+        let rho = farima_acf_cached(d, n);
+        hosking_reflections(&rho, n)
     })
 }
 

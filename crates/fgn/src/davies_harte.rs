@@ -163,7 +163,8 @@ fn synthesise_from_spectrum(
     rng: &mut Xoshiro256,
 ) -> Vec<f64> {
     let mut w = Vec::new();
-    synthesise_from_spectrum_into(lambda, rng, &mut w);
+    let mut gauss = Vec::new();
+    synthesise_from_spectrum_into(lambda, rng, &mut w, &mut gauss);
     w.into_iter().take(n).map(|z| z.re * sd).collect()
 }
 
@@ -176,11 +177,16 @@ fn synthesise_from_spectrum(
 ///
 /// RNG draw order (DC, Nyquist, then conjugate pairs `k = 1..m/2`) is a
 /// compatibility contract: the block-streaming generator relies on it to
-/// stay bit-identical to the batch path on shared-seed prefixes.
+/// stay bit-identical to the batch path on shared-seed prefixes. The
+/// `m` normals are drawn through the batch quantile kernel
+/// ([`Xoshiro256::fill_standard_normal`]) into the caller-reused
+/// `gauss` scratch — one u64 per variate in the contract order, so the
+/// sequence is bit-identical to per-sample draws.
 pub(crate) fn synthesise_from_spectrum_into(
     lambda: &[f64],
     rng: &mut Xoshiro256,
     w: &mut Vec<Complex>,
+    gauss: &mut Vec<f64>,
 ) {
     let m = lambda.len();
     let half = m / 2;
@@ -188,13 +194,16 @@ pub(crate) fn synthesise_from_spectrum_into(
     // the FFT comes out real with the target covariance.
     w.clear();
     w.resize(m, Complex::ZERO);
+    gauss.clear();
+    gauss.resize(m, 0.0);
+    rng.fill_standard_normal(gauss);
     let mf = m as f64;
-    w[0] = Complex::from_re((lambda[0] / mf).sqrt() * rng.standard_normal());
-    w[half] = Complex::from_re((lambda[half] / mf).sqrt() * rng.standard_normal());
+    w[0] = Complex::from_re((lambda[0] / mf).sqrt() * gauss[0]);
+    w[half] = Complex::from_re((lambda[half] / mf).sqrt() * gauss[1]);
     for k in 1..half {
         let scale = (lambda[k] / (2.0 * mf)).sqrt();
-        let re = scale * rng.standard_normal();
-        let im = scale * rng.standard_normal();
+        let re = scale * gauss[2 * k];
+        let im = scale * gauss[2 * k + 1];
         w[k] = Complex::new(re, im);
         w[m - k] = Complex::new(re, -im);
     }

@@ -56,52 +56,55 @@ impl Hosking {
         if n == 0 {
             return Vec::new();
         }
-        // Memoized: the ACF depends only on (d, n), and the O(n²)
-        // recursion below re-reads it in full on every generation.
-        let rho = crate::cache::farima_acf_cached(self.d, n);
+        // Memoized: the partial-correlation coefficients φ_kk (Eqs 7–9)
+        // depend only on (d, n), so repeat runs skip the Eq (7) inner
+        // product against the ACF entirely — roughly half the O(n²)
+        // flops. The remaining per-step work fuses the Eq (10) row
+        // update with the Eq (11) dot product into one pass over the
+        // row, preserving the original term order so output is
+        // bit-identical to the unmemoized recursion (pinned by
+        // `memoized_recursion_matches_inline_reference` below).
+        let refl = crate::cache::hosking_reflections_cached(self.d, n);
+
+        // One normal per step, pre-drawn as a single batch through the
+        // vectorized quantile kernel. The batch path consumes one u64
+        // per variate in output order, so the stream position and every
+        // value are bit-identical to per-step draws.
+        let mut gauss = vec![0.0; n];
+        rng.fill_standard_normal(&mut gauss);
 
         let mut x = Vec::with_capacity(n);
         // X_0 ~ N(0, v_0).
-        x.push(rng.standard_normal() * self.variance.sqrt());
+        x.push(gauss[0] * self.variance.sqrt());
 
         // φ_{k,j} from the previous iteration (φ_{k−1,·}, 1-indexed by j).
         let mut phi_prev: Vec<f64> = Vec::with_capacity(n);
         let mut phi: Vec<f64> = Vec::with_capacity(n);
 
-        let mut n_prev = 0.0f64; // N_0 = 0
-        let mut d_prev = 1.0f64; // D_0 = 1
         let mut v = self.variance; // v_0
 
         for k in 1..n {
-            // Eq (7): N_k = ρ_k − Σ_{j=1}^{k−1} φ_{k−1,j} ρ_{k−j}
-            let mut nk = rho[k];
-            for j in 1..k {
-                nk -= phi_prev[j - 1] * rho[k - j];
-            }
-            // Eq (8): D_k = D_{k−1} − N_{k−1}² / D_{k−1}
-            let dk = d_prev - n_prev * n_prev / d_prev;
-            // Eq (9): φ_kk = N_k / D_k
-            let phi_kk = nk / dk;
-            // Eq (10): φ_kj = φ_{k−1,j} − φ_kk φ_{k−1,k−j}
+            let phi_kk = refl[k - 1];
+            // Eq (10): φ_kj = φ_{k−1,j} − φ_kk φ_{k−1,k−j}, fused with
+            // Eq (11): m_k = Σ_{j=1}^{k} φ_kj X_{k−j} — each freshly
+            // computed row entry is consumed immediately, so the row is
+            // traversed once instead of twice per step.
             phi.clear();
+            let mut m = 0.0;
             for j in 1..k {
-                phi.push(phi_prev[j - 1] - phi_kk * phi_prev[k - j - 1]);
+                let p = phi_prev[j - 1] - phi_kk * phi_prev[k - j - 1];
+                phi.push(p);
+                m += p * x[k - j];
             }
             phi.push(phi_kk);
+            m += phi_kk * x[0];
 
-            // Eq (11): m_k = Σ_{j=1}^{k} φ_kj X_{k−j}
-            let mut m = 0.0;
-            for (j, &p) in phi.iter().enumerate() {
-                m += p * x[k - 1 - j];
-            }
             // Eq (12): v_k = (1 − φ_kk²) v_{k−1}
             v *= 1.0 - phi_kk * phi_kk;
 
-            x.push(m + rng.standard_normal() * v.sqrt());
+            x.push(m + gauss[k] * v.sqrt());
 
             std::mem::swap(&mut phi_prev, &mut phi);
-            n_prev = nk;
-            d_prev = dk;
         }
         x
     }
@@ -118,6 +121,56 @@ mod tests {
         let g = Hosking::new(0.8, 1.0);
         assert_eq!(g.generate(100, 7), g.generate(100, 7));
         assert_ne!(g.generate(100, 7), g.generate(100, 8));
+    }
+
+    /// The pre-memoization recursion, kept verbatim as the scalar twin:
+    /// Eqs 7–12 inline, nothing cached or fused.
+    fn reference_generate(d: f64, variance: f64, n: usize, seed: u64) -> Vec<f64> {
+        let rho = farima_acf(d, n);
+        let mut rng = Xoshiro256::seed_from_u64(seed);
+        let mut x = Vec::with_capacity(n);
+        x.push(rng.standard_normal() * variance.sqrt());
+        let mut phi_prev: Vec<f64> = Vec::new();
+        let mut phi: Vec<f64> = Vec::new();
+        let (mut n_prev, mut d_prev, mut v) = (0.0f64, 1.0f64, variance);
+        for k in 1..n {
+            let mut nk = rho[k];
+            for j in 1..k {
+                nk -= phi_prev[j - 1] * rho[k - j];
+            }
+            let dk = d_prev - n_prev * n_prev / d_prev;
+            let phi_kk = nk / dk;
+            phi.clear();
+            for j in 1..k {
+                phi.push(phi_prev[j - 1] - phi_kk * phi_prev[k - j - 1]);
+            }
+            phi.push(phi_kk);
+            let mut m = 0.0;
+            for (j, &p) in phi.iter().enumerate() {
+                m += p * x[k - 1 - j];
+            }
+            v *= 1.0 - phi_kk * phi_kk;
+            x.push(m + rng.standard_normal() * v.sqrt());
+            std::mem::swap(&mut phi_prev, &mut phi);
+            n_prev = nk;
+            d_prev = dk;
+        }
+        x
+    }
+
+    #[test]
+    fn memoized_recursion_matches_inline_reference() {
+        // The reflection-coefficient cache and the fused Eq (10)+(11)
+        // loop must not change a single bit of any sample path.
+        for &(h, var, n, seed) in &[(0.8f64, 1.0f64, 300usize, 7u64), (0.6, 4.0, 128, 3), (0.95, 0.5, 64, 11)] {
+            let g = Hosking::new(h, var);
+            let got = g.generate(n, seed);
+            let want = reference_generate(hurst_to_d(h), var, n, seed);
+            assert_eq!(got.len(), want.len());
+            for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+                assert_eq!(a.to_bits(), b.to_bits(), "H={h} n={n} sample {i}");
+            }
+        }
     }
 
     #[test]

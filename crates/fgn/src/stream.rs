@@ -100,6 +100,9 @@ pub struct CirculantStream {
     rng: Xoshiro256,
     /// Circulant synthesis workspace (`m` complex values).
     w: Vec<Complex>,
+    /// Batch normal-draw scratch (`m` values per window), reused so the
+    /// vectorized quantile path stays allocation-free in steady state.
+    gauss: Vec<f64>,
     /// The `block` samples currently being emitted.
     cur: Vec<f64>,
     /// Exact tail of the previous window, cross-faded into the next.
@@ -131,6 +134,7 @@ impl CirculantStream {
             spectrum,
             rng,
             w: Vec::with_capacity(m),
+            gauss: Vec::with_capacity(m),
             cur: Vec::with_capacity(block),
             tail: Vec::with_capacity(overlap),
             pos: 0,
@@ -158,13 +162,18 @@ impl CirculantStream {
     fn refill(&mut self) {
         self.pos = 0;
         let Some(spectrum) = &self.spectrum else {
+            // White-noise path: batch-draw the block through the
+            // vectorized quantile kernel, then scale. Per-element values
+            // are bit-identical to the old per-sample loop.
             self.cur.clear();
-            for _ in 0..self.block {
-                self.cur.push(self.rng.standard_normal() * self.sd);
+            self.cur.resize(self.block, 0.0);
+            self.rng.fill_standard_normal(&mut self.cur);
+            for x in &mut self.cur {
+                *x *= self.sd;
             }
             return;
         };
-        synthesise_from_spectrum_into(spectrum, &mut self.rng, &mut self.w);
+        synthesise_from_spectrum_into(spectrum, &mut self.rng, &mut self.w, &mut self.gauss);
         let (b, l) = (self.block, self.overlap);
         self.cur.clear();
         self.cur.extend(self.w[..b].iter().map(|z| z.re * self.sd));
@@ -476,7 +485,8 @@ pub fn farima_via_circulant(
     let m = next_pow2(2 * (n - 1)).max(2);
     let lambda = farima_circulant_spectrum_cached(crate::acvf::hurst_to_d(hurst), m)?;
     let mut w = Vec::new();
-    synthesise_from_spectrum_into(&lambda, &mut rng, &mut w);
+    let mut gauss = Vec::new();
+    synthesise_from_spectrum_into(&lambda, &mut rng, &mut w, &mut gauss);
     Ok(w.into_iter().take(n).map(|z| z.re * sd).collect())
 }
 

@@ -137,6 +137,73 @@ proptest! {
     }
 
     #[test]
+    fn table_map_matches_binary_search_reference(
+        mu in 100.0f64..1e4,
+        cv in 0.05f64..0.6,
+        a in 2.0f64..12.0,
+        n in 3usize..400,
+        xs in prop::collection::vec(-6.0f64..6.0, 1..100),
+    ) {
+        // The grid-walk + precomputed-slope kernel against an
+        // independent scalar oracle: rebuild the knots exactly as the
+        // constructor does, locate the interval by binary search, and
+        // interpolate with the original division formula. Agreement is
+        // ≤ 1e-12 relative — the only arithmetic difference is
+        // `(t·Δ)/Δz` vs `t·(Δ/Δz)`.
+        let target = GammaPareto::from_params(mu, mu * cv, a);
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(n));
+        let (table, zknots): (Vec<f64>, Vec<f64>) = (0..n)
+            .map(|i| {
+                let u = (i as f64 + 0.5) / n as f64;
+                (target.quantile(u), vbr_stats::norm_quantile(u))
+            })
+            .unzip();
+        for &x in &xs {
+            let want = if x <= zknots[0] {
+                table[0]
+            } else if x >= zknots[n - 1] {
+                table[n - 1]
+            } else {
+                let i = zknots.partition_point(|&z| z < x) - 1;
+                table[i]
+                    + (x - zknots[i]) * (table[i + 1] - table[i])
+                        / (zknots[i + 1] - zknots[i])
+            };
+            let got = xf.map(x);
+            prop_assert!(
+                (got - want).abs() <= 1e-12 * want.abs().max(1.0),
+                "x={}: kernel {} vs reference {}", x, got, want
+            );
+        }
+    }
+
+    #[test]
+    fn table_map_inplace_bit_identical_across_block_sizes(
+        mu in 100.0f64..1e4,
+        xs in prop::collection::vec(-6.0f64..6.0, 1..200),
+        cut in 0usize..200,
+    ) {
+        // Blocked mapping must not depend on where block boundaries
+        // fall: mapping the whole buffer, mapping two arbitrary halves,
+        // and mapping one element at a time all agree to the bit.
+        let target = GammaPareto::from_params(mu, mu * 0.3, 5.0);
+        let xf = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(500));
+        let cut = cut.min(xs.len());
+        let mut whole = xs.clone();
+        xf.map_inplace(&mut whole);
+        let mut split = xs.clone();
+        {
+            let (head, tail) = split.split_at_mut(cut);
+            xf.map_inplace(head);
+            xf.map_inplace(tail);
+        }
+        for (i, &x) in xs.iter().enumerate() {
+            prop_assert_eq!(whole[i].to_bits(), split[i].to_bits(), "cut={} at {}", cut, i);
+            prop_assert_eq!(whole[i].to_bits(), xf.map(x).to_bits(), "scalar at {}", i);
+        }
+    }
+
+    #[test]
     fn table_transform_bounded_by_table_extremes(
         mu in 100.0f64..1e4,
         x in -20.0f64..20.0,

@@ -136,10 +136,13 @@ impl<'a> ArrivalCursor<'a> {
             let mut idx = *c;
             while filled < take {
                 let run = (take - filled).min(n - idx);
-                for (o, &s) in out[filled..filled + run].iter_mut().zip(&self.slices[idx..idx + run])
-                {
-                    *o += s as f64;
-                }
+                // 4-lane convert+add kernel; one add per slot per source
+                // (in source order), so the aggregate stays bit-identical
+                // to the scalar sweep whatever the block size.
+                vbr_stats::simd::accumulate_u32(
+                    &mut out[filled..filled + run],
+                    &self.slices[idx..idx + run],
+                );
                 idx += run;
                 if idx == n {
                     idx = 0;

@@ -191,10 +191,24 @@ impl<'a> MuxSim<'a> {
                     if k == 0 {
                         break;
                     }
-                    for &a in &buf[..k] {
-                        win_loss += q.step(a, self.dt);
-                        win_arr += a;
-                        i += 1;
+                    // Feed the queue in runs that stop at each
+                    // errored-second boundary: the block recurrence
+                    // (`step_block`) and the 4-lane arrival sum then do
+                    // the per-slot work, with window accounting hoisted
+                    // out of the slot loop entirely.
+                    let mut pos = 0usize;
+                    while pos < k {
+                        let to_boundary = if slots_per_sec == 0 {
+                            k - pos
+                        } else {
+                            slots_per_sec - (i % slots_per_sec)
+                        };
+                        let run = (k - pos).min(to_boundary);
+                        let chunk = &buf[pos..pos + run];
+                        win_loss += q.step_block(chunk, self.dt);
+                        win_arr += vbr_stats::simd::sum_sequential(chunk);
+                        pos += run;
+                        i += run;
                         if i.is_multiple_of(slots_per_sec) || i == total {
                             if win_arr > 0.0 {
                                 worst = worst.max(win_loss / win_arr);

@@ -115,6 +115,35 @@ proptest! {
     }
 
     #[test]
+    fn step_block_state_bit_identical_to_scalar_steps(
+        arrivals in prop::collection::vec(0.0f64..10_000.0, 0..400),
+        buffer in 0.0f64..5_000.0,
+        capacity in 1e3f64..1e7,
+        block in 1usize..97,
+    ) {
+        // The block recurrence is the scalar `step` loop with hoisted
+        // invariants — queue state must match to the bit for any block
+        // partition. The *returned* loss sums regroup addition at block
+        // boundaries, so those compare to FP-sum accuracy only.
+        let dt = 0.001389;
+        let mut scalar = FluidQueue::new(buffer, capacity);
+        let mut scalar_loss = 0.0f64;
+        for &a in &arrivals {
+            scalar_loss += scalar.step(a, dt);
+        }
+        let mut q = FluidQueue::new(buffer, capacity);
+        let mut loss = 0.0f64;
+        for chunk in arrivals.chunks(block) {
+            loss += q.step_block(chunk, dt);
+        }
+        prop_assert_eq!(q.backlog().to_bits(), scalar.backlog().to_bits());
+        prop_assert_eq!(q.arrived().to_bits(), scalar.arrived().to_bits());
+        prop_assert_eq!(q.served().to_bits(), scalar.served().to_bits());
+        prop_assert_eq!(q.lost().to_bits(), scalar.lost().to_bits());
+        prop_assert!((loss - scalar_loss).abs() <= 1e-9 * scalar_loss.max(1.0));
+    }
+
+    #[test]
     fn zero_arrivals_produce_zero_loss(
         buffer in 0.0f64..1e5,
         capacity in 1.0f64..1e7,

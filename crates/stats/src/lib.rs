@@ -31,6 +31,7 @@ pub mod par;
 pub mod periodogram;
 pub mod regression;
 pub mod rng;
+pub mod simd;
 pub mod special;
 
 pub use acf::{autocorrelation, autocovariance};
@@ -44,4 +45,7 @@ pub use par::{num_threads, par_map, par_map_with, with_threads};
 pub use periodogram::Periodogram;
 pub use regression::{fit_line, fit_loglog, LineFit};
 pub use rng::Xoshiro256;
-pub use special::{digamma, erf, erfc, gamma_p, gamma_q, ln_gamma, norm_cdf, norm_pdf, norm_quantile};
+pub use special::{
+    digamma, erf, erfc, gamma_p, gamma_q, ln_gamma, norm_cdf, norm_pdf, norm_quantile,
+    norm_quantile_slice,
+};

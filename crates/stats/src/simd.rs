@@ -1,0 +1,135 @@
+//! Fixed-lane structure-of-arrays kernels for the pipeline's hot loops.
+//!
+//! Every kernel here is plain safe Rust written as chunk-of-4 loops over
+//! `f64` lanes — a shape LLVM reliably autovectorizes to SSE2/AVX (or
+//! NEON) without any explicit intrinsics or runtime feature dispatch.
+//! The lane width is **fixed at 4** on every host:
+//!
+//! - **No `is_x86_feature_detected!` dispatch.** Runtime dispatch would
+//!   let the same binary pick different arithmetic orders on different
+//!   machines, breaking the workspace determinism contract (parallel ==
+//!   serial bit-for-bit, and the same seed must reproduce the same trace
+//!   on every host). A fixed chunk shape means the *order* of floating
+//!   point operations is part of the source, not of the CPU.
+//! - **Chunk-boundary independence.** Each kernel computes every output
+//!   element with per-element math that does not depend on where chunk
+//!   boundaries fall, so results are identical whatever block size a
+//!   caller streams through (proptested in `tests/proptests.rs`).
+//! - **Scalar twins.** Each kernel has an obvious scalar equivalent (the
+//!   pre-vectorization loop) kept as the property-test oracle; kernels
+//!   that restructure reductions document the exact accumulation order
+//!   they preserve.
+//!
+//! See DESIGN.md §11 for the full vectorization policy and the accuracy
+//! budget per kernel.
+
+/// Lane width of every kernel in this module. Four `f64`s is one AVX2
+/// register (or two SSE2/NEON registers) — wide enough to saturate the
+/// FP pipes, narrow enough that remainder handling stays trivial.
+pub const LANES: usize = 4;
+
+/// `out[i] += src[i] as f64` — the multiplexer's arrival-aggregation
+/// kernel. Each output element receives exactly one convert + add, so
+/// the result is bit-identical to the scalar loop regardless of how the
+/// slices are chunked.
+///
+/// Panics if the slices differ in length.
+#[inline]
+pub fn accumulate_u32(out: &mut [f64], src: &[u32]) {
+    assert_eq!(out.len(), src.len(), "accumulate_u32: length mismatch");
+    let mut o = out.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (oc, sc) in (&mut o).zip(&mut s) {
+        // Four independent convert+add lanes; LLVM lowers this to
+        // vcvtudq2pd/vaddpd-shaped code with no cross-lane dependency.
+        oc[0] += sc[0] as f64;
+        oc[1] += sc[1] as f64;
+        oc[2] += sc[2] as f64;
+        oc[3] += sc[3] as f64;
+    }
+    for (o, &s) in o.into_remainder().iter_mut().zip(s.remainder()) {
+        *o += s as f64;
+    }
+}
+
+/// Sum of a slice in strict left-to-right order, unrolled into chunk
+/// loads. The *accumulation order* is exactly the scalar `for` loop's
+/// (`(((a0+a1)+a2)+a3)+…`), so totals are bit-identical to sequential
+/// `+=` accumulation — this is the kernel for window/byte accounting
+/// where the serial recurrence next door already fixes the order.
+#[inline]
+pub fn sum_sequential(xs: &[f64]) -> f64 {
+    let mut acc = 0.0f64;
+    let mut chunks = xs.chunks_exact(LANES);
+    for c in &mut chunks {
+        // Same association as the scalar loop; the unroll only removes
+        // loop-counter overhead, not the dependency chain.
+        acc = (((acc + c[0]) + c[1]) + c[2]) + c[3];
+    }
+    for &x in chunks.remainder() {
+        acc += x;
+    }
+    acc
+}
+
+/// `dst[i] = src[i] * scale` over 4-lane chunks.
+#[inline]
+pub fn scale_into(dst: &mut [f64], src: &[f64], scale: f64) {
+    assert_eq!(dst.len(), src.len(), "scale_into: length mismatch");
+    let mut d = dst.chunks_exact_mut(LANES);
+    let mut s = src.chunks_exact(LANES);
+    for (dc, sc) in (&mut d).zip(&mut s) {
+        dc[0] = sc[0] * scale;
+        dc[1] = sc[1] * scale;
+        dc[2] = sc[2] * scale;
+        dc[3] = sc[3] * scale;
+    }
+    for (d, &s) in d.into_remainder().iter_mut().zip(s.remainder()) {
+        *d = s * scale;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accumulate_matches_scalar_bitwise() {
+        let src: Vec<u32> = (0..1031).map(|i| (i * 2654435761u32 as usize) as u32).collect();
+        let mut out: Vec<f64> = (0..1031).map(|i| i as f64 * 0.37).collect();
+        let mut want = out.clone();
+        for (o, &s) in want.iter_mut().zip(&src) {
+            *o += s as f64;
+        }
+        accumulate_u32(&mut out, &src);
+        assert_eq!(out, want);
+    }
+
+    #[test]
+    fn sum_sequential_matches_scalar_bitwise() {
+        for n in [0usize, 1, 3, 4, 5, 8, 17, 1000] {
+            let xs: Vec<f64> = (0..n).map(|i| ((i as f64) * 0.761).sin() * 1e6).collect();
+            let mut want = 0.0f64;
+            for &x in &xs {
+                want += x;
+            }
+            assert_eq!(sum_sequential(&xs).to_bits(), want.to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn scale_into_matches_scalar() {
+        let src: Vec<f64> = (0..101).map(|i| i as f64 - 50.0).collect();
+        let mut dst = vec![0.0; 101];
+        scale_into(&mut dst, &src, 0.125);
+        for (d, &s) in dst.iter().zip(&src) {
+            assert_eq!(*d, s * 0.125);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn accumulate_rejects_mismatch() {
+        accumulate_u32(&mut [0.0; 3], &[1, 2]);
+    }
+}

@@ -166,11 +166,138 @@ pub fn norm_pdf(x: f64) -> f64 {
     (-(x * x) / 2.0).exp() / (2.0 * std::f64::consts::PI).sqrt()
 }
 
+// Wichura's AS 241 (PPND16) coefficients for the inverse normal CDF.
+//
+// Three rational approximations of degree 7/7: one for the central
+// region `|p − ½| ≤ 0.425` (~85% of uniform draws) and two for the
+// tails in the transformed variable `r = sqrt(−ln min(p, 1−p))`.
+// Relative accuracy is ~1.5e-16 throughout — at or below one ulp — with
+// a *fixed* operation count per evaluation: no iteration, no erfc, no
+// data-dependent convergence loop. That fixed shape is what lets the
+// batch kernel below run the central branch as straight-line 4-lane
+// code (see DESIGN.md §11).
+//
+// The literals carry AS 241's published digits, a few beyond f64
+// precision; each parses to the nearest representable double.
+#[allow(clippy::excessive_precision)]
+const PPND_A: [f64; 8] = [
+    3.387_132_872_796_366_608,
+    1.331_416_678_917_843_774_5e2,
+    1.971_590_950_306_551_442_7e3,
+    1.373_169_376_550_946_112_5e4,
+    4.592_195_393_154_987_145_7e4,
+    6.726_577_092_700_870_085_3e4,
+    3.343_057_558_358_812_810_5e4,
+    2.509_080_928_730_122_672_7e3,
+];
+#[allow(clippy::excessive_precision)]
+const PPND_B: [f64; 7] = [
+    4.231_333_070_160_091_125_2e1,
+    6.871_870_074_920_579_083e2,
+    5.394_196_021_424_751_107_7e3,
+    2.121_379_430_158_659_586_7e4,
+    3.930_789_580_009_271_061e4,
+    2.872_908_573_572_194_267_4e4,
+    5.226_495_278_852_854_561e3,
+];
+#[allow(clippy::excessive_precision)]
+const PPND_C: [f64; 8] = [
+    1.423_437_110_749_683_577_34,
+    4.630_337_846_156_545_295_9,
+    5.769_497_221_460_691_405_5,
+    3.647_848_324_763_204_605_04,
+    1.270_458_252_452_368_382_58,
+    2.417_807_251_774_506_117_7e-1,
+    2.272_384_498_926_918_458_33e-2,
+    7.745_450_142_783_414_076_4e-4,
+];
+#[allow(clippy::excessive_precision)]
+const PPND_D: [f64; 7] = [
+    2.053_191_626_637_758_821_87,
+    1.676_384_830_183_803_849_4,
+    6.897_673_349_851_000_045_5e-1,
+    1.481_039_764_274_800_745_9e-1,
+    1.519_866_656_361_645_719_66e-2,
+    5.475_938_084_995_344_946e-4,
+    1.050_750_071_644_416_843_24e-9,
+];
+#[allow(clippy::excessive_precision)]
+const PPND_E: [f64; 8] = [
+    6.657_904_643_501_103_777_2,
+    5.463_784_911_164_114_369_9,
+    1.784_826_539_917_291_335_8,
+    2.965_605_718_285_048_912_3e-1,
+    2.653_218_952_657_612_309_3e-2,
+    1.242_660_947_388_078_438_6e-3,
+    2.711_555_568_743_487_578_15e-5,
+    2.010_334_399_292_288_132_65e-7,
+];
+#[allow(clippy::excessive_precision)]
+const PPND_F: [f64; 7] = [
+    5.998_322_065_558_879_376_9e-1,
+    1.369_298_809_227_358_053_1e-1,
+    1.487_536_129_085_061_485_25e-2,
+    7.868_691_311_456_132_591e-4,
+    1.846_318_317_510_054_681_8e-5,
+    1.421_511_758_316_445_888_7e-7,
+    2.044_263_103_389_939_785_64e-15,
+];
+
+/// Central-branch boundary: `|p − ½| ≤ 0.425`.
+const PPND_CENTRAL: f64 = 0.425;
+
+/// Degree-7 Horner ratio `num(r)/den(r)` with the AS 241 layout
+/// (denominator's leading coefficient is an implicit 1).
+#[inline(always)]
+fn ppnd_ratio(r: f64, num: &[f64; 8], den: &[f64; 7]) -> f64 {
+    let n = ((((((num[7] * r + num[6]) * r + num[5]) * r + num[4]) * r + num[3]) * r + num[2])
+        * r
+        + num[1])
+        * r
+        + num[0];
+    let d = ((((((den[6] * r + den[5]) * r + den[4]) * r + den[3]) * r + den[2]) * r + den[1])
+        * r
+        + den[0])
+        * r
+        + 1.0;
+    n / d
+}
+
+/// Central-region evaluation, valid for `q = p − ½` with `|q| ≤ 0.425`.
+/// Split out so the batch kernel can run it unconditionally over 4-lane
+/// chunks; the scalar path calls the same function, so batch and scalar
+/// results are bit-identical by construction.
+#[inline(always)]
+fn norm_quantile_central(q: f64) -> f64 {
+    let r = PPND_CENTRAL * PPND_CENTRAL - q * q;
+    q * ppnd_ratio(r, &PPND_A, &PPND_B)
+}
+
+/// Tail evaluation for `|p − ½| > 0.425`; `q = p − ½` carries the sign.
+#[inline(always)]
+fn norm_quantile_tail(p: f64, q: f64) -> f64 {
+    let r = if q < 0.0 { p } else { 1.0 - p };
+    let r = (-r.ln()).sqrt();
+    let x = if r <= 5.0 {
+        ppnd_ratio(r - 1.6, &PPND_C, &PPND_D)
+    } else {
+        ppnd_ratio(r - 5.0, &PPND_E, &PPND_F)
+    };
+    if q < 0.0 {
+        -x
+    } else {
+        x
+    }
+}
+
 /// Inverse standard normal CDF `Φ⁻¹(p)`.
 ///
-/// Acklam's rational approximation (~1.2e-9 relative error) followed by one
-/// Halley refinement step against the high-accuracy [`norm_cdf`], which
-/// brings it to near machine precision.
+/// Wichura's AS 241 (PPND16) rational approximations: ~1.5e-16 relative
+/// accuracy with a fixed operation count — no Halley refinement against
+/// [`norm_cdf`] (whose continued fraction made the old implementation
+/// ~10× slower with data-dependent timing). The central branch is shared
+/// verbatim with the batch kernel [`norm_quantile_slice`], so bulk and
+/// one-at-a-time evaluation are bit-identical.
 pub fn norm_quantile(p: f64) -> f64 {
     assert!(
         (0.0..=1.0).contains(&p),
@@ -182,58 +309,49 @@ pub fn norm_quantile(p: f64) -> f64 {
     if p == 1.0 {
         return f64::INFINITY;
     }
-
-    // Acklam coefficients.
-    const A: [f64; 6] = [
-        -3.969_683_028_665_376e1,
-        2.209_460_984_245_205e2,
-        -2.759_285_104_469_687e2,
-        1.383_577_518_672_69e2,
-        -3.066_479_806_614_716e1,
-        2.506_628_277_459_239,
-    ];
-    const B: [f64; 5] = [
-        -5.447_609_879_822_406e1,
-        1.615_858_368_580_409e2,
-        -1.556_989_798_598_866e2,
-        6.680_131_188_771_972e1,
-        -1.328_068_155_288_572e1,
-    ];
-    const C: [f64; 6] = [
-        -7.784_894_002_430_293e-3,
-        -3.223_964_580_411_365e-1,
-        -2.400_758_277_161_838,
-        -2.549_732_539_343_734,
-        4.374_664_141_464_968,
-        2.938_163_982_698_783,
-    ];
-    const D: [f64; 4] = [
-        7.784_695_709_041_462e-3,
-        3.224_671_290_700_398e-1,
-        2.445_134_137_142_996,
-        3.754_408_661_907_416,
-    ];
-    const P_LOW: f64 = 0.024_25;
-
-    let x = if p < P_LOW {
-        let q = (-2.0 * p.ln()).sqrt();
-        (((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    } else if p <= 1.0 - P_LOW {
-        let q = p - 0.5;
-        let r = q * q;
-        (((((A[0] * r + A[1]) * r + A[2]) * r + A[3]) * r + A[4]) * r + A[5]) * q
-            / (((((B[0] * r + B[1]) * r + B[2]) * r + B[3]) * r + B[4]) * r + 1.0)
+    let q = p - 0.5;
+    if q.abs() <= PPND_CENTRAL {
+        norm_quantile_central(q)
     } else {
-        let q = (-2.0 * (1.0 - p).ln()).sqrt();
-        -(((((C[0] * q + C[1]) * q + C[2]) * q + C[3]) * q + C[4]) * q + C[5])
-            / ((((D[0] * q + D[1]) * q + D[2]) * q + D[3]) * q + 1.0)
-    };
+        norm_quantile_tail(p, q)
+    }
+}
 
-    // One Halley step: u = (Φ(x) − p) / φ(x); x ← x − u / (1 + x u / 2).
-    let e = norm_cdf(x) - p;
-    let u = e / norm_pdf(x);
-    x - u / (1.0 + x * u / 2.0)
+/// In-place batch `Φ⁻¹`: replaces every probability in `ps` with its
+/// normal quantile. Bit-identical to mapping [`norm_quantile`] over the
+/// slice (same per-element math, so results do not depend on chunk
+/// boundaries), but structured for the bulk case: 4-lane chunks whose
+/// central-branch polynomial runs as straight-line vectorizable code,
+/// with the (~15% of draws) tail lanes fixed up scalarly.
+///
+/// Endpoints follow [`norm_quantile`]: `0 → −∞`, `1 → +∞`. Panics if
+/// any element is outside `[0, 1]`.
+pub fn norm_quantile_slice(ps: &mut [f64]) {
+    let mut chunks = ps.chunks_exact_mut(crate::simd::LANES);
+    for c in &mut chunks {
+        let q = [c[0] - 0.5, c[1] - 0.5, c[2] - 0.5, c[3] - 0.5];
+        // All-central is the common case (0.85⁴ ≈ 52% of chunks run
+        // branch-free); mixed chunks pay one scalar fixup per tail lane.
+        if q[0].abs() <= PPND_CENTRAL
+            && q[1].abs() <= PPND_CENTRAL
+            && q[2].abs() <= PPND_CENTRAL
+            && q[3].abs() <= PPND_CENTRAL
+        {
+            c[0] = norm_quantile_central(q[0]);
+            c[1] = norm_quantile_central(q[1]);
+            c[2] = norm_quantile_central(q[2]);
+            c[3] = norm_quantile_central(q[3]);
+        } else {
+            // Note: re-deriving p as q + 0.5 would lose low bits for
+            // tiny tail probabilities; use the untouched element.
+            for x in c.iter_mut() {
+                *x = norm_quantile(*x);
+            }
+        }
+    }
+    for p in chunks.into_remainder() {
+        *p = norm_quantile(*p);
+    }
 }
 
 #[cfg(test)]

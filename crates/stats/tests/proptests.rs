@@ -1,8 +1,20 @@
 //! Property-based tests for the statistics substrate.
 
 use proptest::prelude::*;
+use rand::Rng;
 use vbr_stats::dist::{ContinuousDist, Exponential, Gamma, GammaPareto, Lognormal, Normal, Pareto};
-use vbr_stats::{autocorrelation, moving_average, quantile, Ecdf, Moments};
+use vbr_stats::rng::Xoshiro256;
+use vbr_stats::{autocorrelation, moving_average, norm_quantile, norm_quantile_slice, quantile, simd, Ecdf, Moments};
+
+/// Probabilities spanning the central branch and both quantile tails
+/// (tail depth down to ~1e-12, exercising both tail branches).
+fn prob() -> impl Strategy<Value = f64> {
+    (0u32..3, 0.0f64..1.0).prop_map(|(side, u)| match side {
+        0 => 0.1 + 0.8 * u,
+        1 => 10f64.powf(-1.0 - 11.0 * u),
+        _ => 1.0 - 10f64.powf(-1.0 - 11.0 * u),
+    })
+}
 
 proptest! {
     #[test]
@@ -120,6 +132,89 @@ proptest! {
         prop_assert!((d.cdf(x) - p).abs() < 1e-6);
         // CDF and CCDF complement each other.
         prop_assert!((d.cdf(x) + d.ccdf(x) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantile_slice_matches_scalar_bitwise(ps in prop::collection::vec(prob(), 0..200)) {
+        // The blocked quantile kernel must agree with per-element
+        // evaluation to the bit, whatever mix of central/tail lanes a
+        // chunk holds — that equality is what makes batch normal draws
+        // interchangeable with scalar ones everywhere upstream.
+        let want: Vec<f64> = ps.iter().map(|&p| norm_quantile(p)).collect();
+        let mut got = ps.clone();
+        norm_quantile_slice(&mut got);
+        for (i, (a, b)) in got.iter().zip(&want).enumerate() {
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "p={} at {}", ps[i], i);
+        }
+    }
+
+    #[test]
+    fn batch_normals_split_invariant(
+        n in 0usize..300,
+        cut_raw in 0usize..300,
+        seed in 0u64..5000,
+    ) {
+        let cut = cut_raw % (n + 1);
+        // One fill, two fills at an arbitrary cut, and a per-sample
+        // scalar loop must produce the same bits *and* leave the RNG at
+        // the same stream position (one u64 per variate).
+        let mut whole = vec![0.0f64; n];
+        let mut r1 = Xoshiro256::seed_from_u64(seed);
+        r1.fill_standard_normal(&mut whole);
+
+        let mut split = vec![0.0f64; n];
+        let mut r2 = Xoshiro256::seed_from_u64(seed);
+        let (head, tail) = split.split_at_mut(cut);
+        r2.fill_standard_normal(head);
+        r2.fill_standard_normal(tail);
+
+        let mut r3 = Xoshiro256::seed_from_u64(seed);
+        let scalar: Vec<f64> = (0..n).map(|_| r3.standard_normal()).collect();
+
+        for i in 0..n {
+            prop_assert_eq!(whole[i].to_bits(), split[i].to_bits(), "cut={} at {}", cut, i);
+            prop_assert_eq!(whole[i].to_bits(), scalar[i].to_bits(), "scalar at {}", i);
+        }
+        prop_assert_eq!(r1.next_u64(), r2.next_u64());
+    }
+
+    #[test]
+    fn accumulate_u32_matches_scalar_bitwise(
+        pairs in prop::collection::vec((0u32..u32::MAX, -1e12f64..1e12), 0..300),
+    ) {
+        let src: Vec<u32> = pairs.iter().map(|&(s, _)| s).collect();
+        let mut out: Vec<f64> = pairs.iter().map(|&(_, o)| o).collect();
+        let mut want = out.clone();
+        for (o, &s) in want.iter_mut().zip(&src) {
+            *o += s as f64;
+        }
+        simd::accumulate_u32(&mut out, &src);
+        for (a, b) in out.iter().zip(&want) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn sum_sequential_matches_left_fold_bitwise(
+        xs in prop::collection::vec(-1e9f64..1e9, 0..300),
+    ) {
+        let mut want = 0.0f64;
+        for &x in &xs {
+            want += x;
+        }
+        prop_assert_eq!(simd::sum_sequential(&xs).to_bits(), want.to_bits());
+    }
+
+    #[test]
+    fn scale_into_matches_scalar_bitwise(
+        xs in prop::collection::vec(-1e9f64..1e9, 0..300),
+        scale in -1e3f64..1e3,
+    ) {
+        let mut dst = vec![0.0f64; xs.len()];
+        simd::scale_into(&mut dst, &xs, scale);
+        for (d, &s) in dst.iter().zip(&xs) {
+            prop_assert_eq!(d.to_bits(), (s * scale).to_bits());
+        }
     }
 
     #[test]
