@@ -9,6 +9,15 @@
 //!   `--out` is given. The determinism checks always run; any divergence
 //!   between serial and parallel output exits nonzero.
 //!
+//! Observability flags:
+//!
+//! - **`--trace-json <path>`**: install the [`vbr_stats::obs`] span
+//!   collector for the whole run and dump the span tree (plus all
+//!   pipeline counters) as JSON on exit.
+//! - **`--obs-check`**: standalone mode — time a representative
+//!   generate → marginal → queue workload with the collector off and
+//!   then on, and exit nonzero if the collector-on overhead exceeds 5%.
+//!
 //! The baselines are honest re-implementations of the pre-optimisation
 //! code paths (the drifting-twiddle FFT kernel, the `powf`-per-frequency
 //! Whittle objective, cold-plan / cold-cache calls, `with_threads(1)`
@@ -29,6 +38,7 @@ use vbr_qsim::{
     aggregate_arrivals, lag_combinations, qc_curve, FluidQueue, LossMetric, LossTarget, MuxSim,
 };
 use vbr_stats::dist::{ContinuousDist, GammaPareto};
+use vbr_stats::obs;
 use vbr_stats::par::{num_threads, with_threads};
 use vbr_stats::periodogram::Periodogram;
 use vbr_stats::rng::Xoshiro256;
@@ -76,18 +86,29 @@ impl Sizes {
 
 fn main() -> ExitCode {
     let mut test_mode = false;
+    let mut obs_check = false;
     let mut out: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
             "--test" => test_mode = true,
+            "--obs-check" => obs_check = true,
             "--out" => out = Some(PathBuf::from(args.next().expect("--out needs a path"))),
+            "--trace-json" => {
+                trace_out = Some(PathBuf::from(args.next().expect("--trace-json needs a path")))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: pipeline_bench [--test] [--out <path>]");
+                eprintln!(
+                    "usage: pipeline_bench [--test] [--out <path>] [--trace-json <path>] [--obs-check]"
+                );
                 return ExitCode::from(2);
             }
         }
+    }
+    if obs_check {
+        return obs_overhead_check();
     }
     let sizes = if test_mode { Sizes::test() } else { Sizes::full() };
     let threads = num_threads();
@@ -95,6 +116,10 @@ fn main() -> ExitCode {
         "pipeline_bench: mode={}, worker threads={threads}",
         if test_mode { "test" } else { "full" }
     );
+    if trace_out.is_some() {
+        // Collect spans for the whole run; counters are always on.
+        obs::install_collector(1 << 13);
+    }
 
     let divergences = check_determinism(&sizes);
     if divergences > 0 {
@@ -120,6 +145,63 @@ fn main() -> ExitCode {
                 return ExitCode::FAILURE;
             }
         }
+    }
+    if let Some(tpath) = trace_out {
+        let snap = obs::uninstall_collector().expect("collector was installed above");
+        match std::fs::write(&tpath, obs::trace_json(&snap)) {
+            Ok(()) => println!(
+                "wrote {} ({} spans/events, {} dropped)",
+                tpath.display(),
+                snap.records.len(),
+                snap.dropped
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", tpath.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+// ---------------------------------------------------------------------------
+// Observability overhead gate
+// ---------------------------------------------------------------------------
+
+/// Times a representative generate → marginal → queue workload with the
+/// span collector uninstalled and then installed, and fails if the
+/// collector-on median exceeds the off median by more than 5% (the CI
+/// ceiling; the design budget for the counters alone is ≤2% on the
+/// `kernels_simd` tier).
+fn obs_overhead_check() -> ExitCode {
+    assert!(!obs::collector_installed(), "collector must start uninstalled");
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+    let dt = 1.0 / (24.0 * 30.0);
+    let n = 1usize << 14;
+    let mut workload = || {
+        let gauss = DaviesHarte::new(0.8, 1.0).generate(n, 9);
+        let traffic = xform.map_series(&gauss);
+        let mut q = FluidQueue::new(1e6, 27_791.0 / dt * 1.2);
+        let mut loss = 0.0;
+        for chunk in traffic.chunks(4096) {
+            loss += q.step_block(chunk, dt);
+        }
+        std::hint::black_box(loss);
+    };
+    let (warmup, reps) = (3, 15);
+    let t_off = time_median(warmup, reps, &mut workload);
+    obs::install_collector(1 << 13);
+    let t_on = time_median(warmup, reps, &mut workload);
+    obs::uninstall_collector();
+    let overhead = t_on / t_off - 1.0;
+    println!(
+        "obs-check: collector off {t_off:.6}s, on {t_on:.6}s, overhead {:+.2}%",
+        overhead * 100.0
+    );
+    if overhead > 0.05 {
+        eprintln!("FAIL: collector-on overhead {:.2}% exceeds the 5% budget", overhead * 100.0);
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

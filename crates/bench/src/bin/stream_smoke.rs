@@ -15,9 +15,12 @@
 //! kernel-enforced guard; the binary's own check is on VmHWM (peak
 //! resident), which is the claim DESIGN.md §10 makes.
 //!
-//! Usage: `stream_smoke [--slices N] [--cap-mib M]`
+//! Usage: `stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>]`
 //! Exit status: 0 on success, 1 on a memory-cap breach or an
-//! implausible pipeline result.
+//! implausible pipeline result. With `--trace-json` the
+//! [`vbr_stats::obs`] collector records the run and the span tree plus
+//! streaming counters (blocks emitted, seam cross-fades) are dumped as
+//! JSON on exit.
 
 use std::process::ExitCode;
 use std::time::Instant;
@@ -25,6 +28,7 @@ use std::time::Instant;
 use vbr_fgn::{FgnStream, MarginalTransform, TableMode};
 use vbr_qsim::FluidQueue;
 use vbr_stats::dist::GammaPareto;
+use vbr_stats::obs;
 
 /// Streaming block (fGn window) and consumer chunk sizes. The block
 /// bounds the generator's live state; the chunk is the hand-off buffer
@@ -41,6 +45,7 @@ fn vm_hwm_kib() -> Option<u64> {
 fn main() -> ExitCode {
     let mut slices: usize = 1 << 24;
     let mut cap_mib: u64 = 256;
+    let mut trace_out: Option<std::path::PathBuf> = None;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -50,12 +55,19 @@ fn main() -> ExitCode {
             "--cap-mib" => {
                 cap_mib = args.next().and_then(|v| v.parse().ok()).expect("--cap-mib needs MiB")
             }
+            "--trace-json" => {
+                trace_out =
+                    Some(std::path::PathBuf::from(args.next().expect("--trace-json needs a path")))
+            }
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: stream_smoke [--slices N] [--cap-mib M]");
+                eprintln!("usage: stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>]");
                 return ExitCode::from(2);
             }
         }
+    }
+    if trace_out.is_some() {
+        obs::install_collector(1 << 12);
     }
 
     // Paper-scale model: H = 0.8 fGn under the Table 2 Gamma/Pareto
@@ -68,6 +80,7 @@ fn main() -> ExitCode {
     let buffer = 1e6;
 
     let t0 = Instant::now();
+    let run_span = obs::span("stream_smoke.run");
     let mut src = FgnStream::new(hurst, 1.0, BLOCK, 42);
     let mut buf = vec![0.0f64; CHUNK];
     let mut q = FluidQueue::new(buffer, capacity);
@@ -82,6 +95,7 @@ fn main() -> ExitCode {
         }
         left -= take;
     }
+    drop(run_span);
     let secs = t0.elapsed().as_secs_f64();
 
     let mean_slice = total_bytes / slices as f64;
@@ -109,6 +123,21 @@ fn main() -> ExitCode {
             }
         }
         None => println!("stream_smoke: /proc/self/status unavailable; skipping resident check"),
+    }
+    if let Some(tpath) = trace_out {
+        let snap = obs::uninstall_collector().expect("collector was installed above");
+        match std::fs::write(&tpath, obs::trace_json(&snap)) {
+            Ok(()) => println!(
+                "wrote {} ({} spans/events, {} dropped)",
+                tpath.display(),
+                snap.records.len(),
+                snap.dropped
+            ),
+            Err(e) => {
+                eprintln!("cannot write {}: {e}", tpath.display());
+                return ExitCode::FAILURE;
+            }
+        }
     }
     ExitCode::SUCCESS
 }

@@ -131,16 +131,31 @@ impl PerfReport {
 
     /// Serialises the report (plus host metadata) to pretty JSON.
     ///
-    /// Schema v2 adds the compiler version and, per entry, the
+    /// Schema v2 added the compiler version and, per entry, the
     /// iteration schedule (`warmup`/`reps`) the median was taken over —
     /// enough provenance to judge whether two checked-in reports are
-    /// comparable.
+    /// comparable. Schema v3 adds a `metrics` section: every
+    /// [`vbr_stats::obs`] pipeline counter as observed at serialisation
+    /// time, plus the process peak RSS, so a checked-in report also
+    /// records *what the benchmark exercised* (cache hits, fallbacks,
+    /// overflow slots), not just how long it took.
     pub fn to_json(&self, host_threads: usize, rustc: &str) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v2\",");
+        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v3\",");
         let _ = writeln!(s, "  \"host_threads\": {host_threads},");
         let _ = writeln!(s, "  \"rustc\": {},", json_str(rustc));
+        s.push_str("  \"metrics\": {\n");
+        for (name, value) in vbr_stats::obs::counters() {
+            let _ = writeln!(s, "    \"{name}\": {value},");
+        }
+        match vbr_stats::obs::peak_rss_kib() {
+            Some(kib) => {
+                let _ = writeln!(s, "    \"peak_rss_kib\": {kib}");
+            }
+            None => s.push_str("    \"peak_rss_kib\": null\n"),
+        }
+        s.push_str("  },\n");
         s.push_str("  \"entries\": [\n");
         for (i, e) in self.entries.iter().enumerate() {
             s.push_str("    {\n");
@@ -241,7 +256,11 @@ mod tests {
         r.record("kernels", "fft", 0.5, (1, 3), "plain");
         r.record_vs("estimators", "whittle", 1.0, 0.25, (2, 5), "note \"quoted\"");
         let j = r.to_json(4, "rustc 1.99.0 (test)");
-        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v2\""));
+        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v3\""));
+        assert!(j.contains("\"metrics\": {"));
+        assert!(j.contains("\"fft_plan_hit\":"));
+        assert!(j.contains("\"fgn_cache_evict\":"));
+        assert!(j.contains("\"peak_rss_kib\":"));
         assert!(j.contains("\"host_threads\": 4"));
         assert!(j.contains("\"rustc\": \"rustc 1.99.0 (test)\""));
         assert!(j.contains("\"speedup\": 4.000000000"));

@@ -32,7 +32,10 @@ pub mod real;
 pub use bluestein::{bluestein_plan_for, fft_any, fft_any_in_place, BluesteinPlan};
 pub use complex::Complex;
 pub use convolve::{autocorr_sums, autocorr_sums_into, convolve, convolve_into};
-pub use plan::{plan_for, reference_radix2, FftPlan};
+pub use plan::{
+    plan_cache_stats, plan_for, plan_size_histogram, reference_radix2, reset_plan_cache_stats,
+    set_plan_cache_capacity, FftPlan, PlanCacheStats,
+};
 pub use radix2::{fft_pow2_in_place, is_pow2, next_pow2, Direction};
 pub use real::{
     fft_real, fft_real_into, ifft_real, ifft_real_into, power_spectrum, power_spectrum_into,

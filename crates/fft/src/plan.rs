@@ -31,6 +31,7 @@
 use crate::complex::Complex;
 use crate::radix2::{is_pow2, Direction};
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 /// A reusable execution plan for power-of-two FFTs of one fixed size.
@@ -290,32 +291,131 @@ pub fn reference_radix2(data: &mut [Complex], dir: Direction) {
     }
 }
 
-/// Plans are dropped (and lazily rebuilt) once the cache holds this many
-/// distinct sizes; a plan costs ~20 bytes/point, so the bound keeps the
-/// cache under a few hundred MB even at the 2^20 paper scale.
+/// Plans are evicted (least-recently-used first) once the cache holds
+/// this many distinct sizes; a plan costs ~20 bytes/point, so the bound
+/// keeps the cache under a few hundred MB even at the 2^20 paper scale.
 const MAX_CACHED_PLANS: usize = 32;
 
-fn cache() -> &'static Mutex<HashMap<usize, Arc<FftPlan>>> {
-    static CACHE: OnceLock<Mutex<HashMap<usize, Arc<FftPlan>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+/// The live cache bound, defaulting to [`MAX_CACHED_PLANS`]. Mutable so
+/// memory-constrained embedders can shrink it and tests can exercise
+/// the eviction path without warming 33 distinct transform sizes.
+static PLAN_CACHE_CAP: AtomicU64 = AtomicU64::new(MAX_CACHED_PLANS as u64);
+
+/// Sets how many distinct sizes the plan cache may hold before it
+/// starts evicting least-recently-used plans (clamped to ≥ 1). Already
+/// cached plans above the new bound are evicted lazily, on the next
+/// admission.
+pub fn set_plan_cache_capacity(cap: usize) {
+    PLAN_CACHE_CAP.store(cap.max(1) as u64, Ordering::Relaxed);
+}
+
+/// Cache instrumentation. `vbr-fft` sits *below* `vbr-stats` in the
+/// dependency graph, so it cannot call the `vbr_stats::obs` facade;
+/// instead it keeps plain relaxed atomics here and the facade reads
+/// them through [`plan_cache_stats`] / [`plan_size_histogram`].
+static PLAN_HITS: AtomicU64 = AtomicU64::new(0);
+static PLAN_MISSES: AtomicU64 = AtomicU64::new(0);
+static PLAN_EVICTIONS: AtomicU64 = AtomicU64::new(0);
+/// Requests per transform size, indexed by `log₂ n` (sizes are always
+/// powers of two, `n ≤ u32::MAX`).
+static PLAN_SIZE_HIST: [AtomicU64; 33] = [const { AtomicU64::new(0) }; 33];
+
+/// Monotonic counters of the global plan cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PlanCacheStats {
+    /// Requests served from the cache.
+    pub hits: u64,
+    /// Requests that had to build a plan.
+    pub misses: u64,
+    /// Least-recently-used plans dropped to admit a new size.
+    pub evictions: u64,
+}
+
+/// Snapshot of the plan cache counters (process-global, monotonic).
+pub fn plan_cache_stats() -> PlanCacheStats {
+    PlanCacheStats {
+        hits: PLAN_HITS.load(Ordering::Relaxed),
+        misses: PLAN_MISSES.load(Ordering::Relaxed),
+        evictions: PLAN_EVICTIONS.load(Ordering::Relaxed),
+    }
+}
+
+/// Requests per transform size as `(n, count)`, ascending, non-empty
+/// sizes only.
+pub fn plan_size_histogram() -> Vec<(u64, u64)> {
+    PLAN_SIZE_HIST
+        .iter()
+        .enumerate()
+        .filter_map(|(log2, c)| {
+            let count = c.load(Ordering::Relaxed);
+            (count > 0).then_some((1u64 << log2, count))
+        })
+        .collect()
+}
+
+/// Zeroes the plan cache counters and size histogram (test isolation
+/// and report epochs only).
+pub fn reset_plan_cache_stats() {
+    PLAN_HITS.store(0, Ordering::Relaxed);
+    PLAN_MISSES.store(0, Ordering::Relaxed);
+    PLAN_EVICTIONS.store(0, Ordering::Relaxed);
+    for c in &PLAN_SIZE_HIST {
+        c.store(0, Ordering::Relaxed);
+    }
+}
+
+/// The cached plans plus a logical clock: each access stamps its entry,
+/// and eviction removes the entry with the oldest stamp.
+struct PlanCache {
+    map: HashMap<usize, (Arc<FftPlan>, u64)>,
+    tick: u64,
+}
+
+fn cache() -> &'static Mutex<PlanCache> {
+    static CACHE: OnceLock<Mutex<PlanCache>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(PlanCache { map: HashMap::new(), tick: 0 }))
 }
 
 /// Returns the shared plan for length `n` (a power of two), building and
 /// caching it on first use. Thread-safe; the lock is held only for the
 /// map lookup, never during plan construction or execution.
+///
+/// The cache holds at most [`MAX_CACHED_PLANS`] sizes; admitting a new
+/// size beyond that evicts the least-recently-used plan only. (The old
+/// policy refused to cache new sizes once full, so a long-running
+/// process that warmed 32 stale sizes paid full plan construction on
+/// every later call forever.)
 pub fn plan_for(n: usize) -> Arc<FftPlan> {
     assert!(is_pow2(n), "FFT plans require a power-of-two length, got {n}");
-    if let Some(plan) = cache().lock().expect("FFT plan cache poisoned").get(&n) {
-        return Arc::clone(plan);
+    PLAN_SIZE_HIST[n.trailing_zeros() as usize].fetch_add(1, Ordering::Relaxed);
+    {
+        let mut cache = cache().lock().expect("FFT plan cache poisoned");
+        cache.tick += 1;
+        let tick = cache.tick;
+        if let Some((plan, stamp)) = cache.map.get_mut(&n) {
+            *stamp = tick;
+            PLAN_HITS.fetch_add(1, Ordering::Relaxed);
+            return Arc::clone(plan);
+        }
+        PLAN_MISSES.fetch_add(1, Ordering::Relaxed);
     }
     // Built outside the lock: concurrent first callers may race to build
     // the same plan, but the loser's copy is simply dropped.
     let plan = Arc::new(FftPlan::new(n));
-    let mut map = cache().lock().expect("FFT plan cache poisoned");
-    if map.len() >= MAX_CACHED_PLANS {
-        map.clear();
+    let mut cache = cache().lock().expect("FFT plan cache poisoned");
+    cache.tick += 1;
+    let tick = cache.tick;
+    let cap = PLAN_CACHE_CAP.load(Ordering::Relaxed) as usize;
+    while !cache.map.contains_key(&n) && cache.map.len() >= cap {
+        let Some(cold) = cache.map.iter().min_by_key(|&(_, &(_, s))| s).map(|(&k, _)| k) else {
+            break;
+        };
+        cache.map.remove(&cold);
+        PLAN_EVICTIONS.fetch_add(1, Ordering::Relaxed);
     }
-    Arc::clone(map.entry(n).or_insert(plan))
+    let entry = cache.map.entry(n).or_insert((plan, tick));
+    entry.1 = tick;
+    Arc::clone(&entry.0)
 }
 
 #[cfg(test)]

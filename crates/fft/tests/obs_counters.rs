@@ -1,0 +1,56 @@
+//! Exact-count tests of the plan-cache instrumentation.
+//!
+//! The counters are process-global, so this file lives in its own
+//! integration-test binary (its own process) and uses a single `#[test]`
+//! function: nothing else in the process touches the plan cache, which
+//! makes every hit/miss/eviction delta exact rather than a lower bound.
+
+use std::sync::Arc;
+
+use vbr_fft::{
+    plan_cache_stats, plan_for, plan_size_histogram, reset_plan_cache_stats,
+    set_plan_cache_capacity, PlanCacheStats,
+};
+
+#[test]
+fn plan_cache_counters_exact_and_eviction_is_lru() {
+    // Fresh process: nothing has requested a plan yet.
+    reset_plan_cache_stats();
+    assert_eq!(plan_cache_stats(), PlanCacheStats::default());
+
+    // Known-size workload: 1 miss + 3 hits on 64, 1 miss on 128.
+    let first = plan_for(64);
+    for _ in 0..3 {
+        let again = plan_for(64);
+        assert!(Arc::ptr_eq(&first, &again), "hits must return the cached plan");
+    }
+    plan_for(128);
+    let s = plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.evictions), (3, 2, 0));
+    assert_eq!(plan_size_histogram(), vec![(64, 4), (128, 1)]);
+
+    // LRU eviction under a shrunken capacity. Cache = {64, 128}; cap 4.
+    set_plan_cache_capacity(4);
+    plan_for(2); // miss; cache {64, 128, 2}
+    plan_for(4); // miss; cache {64, 128, 2, 4} — full
+    let hot = plan_for(64); // hit — refreshes 64's stamp
+    assert!(Arc::ptr_eq(&first, &hot));
+    plan_for(8); // miss; evicts the LRU entry, 128
+    let s = plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.evictions), (4, 5, 1));
+
+    // The recently-touched entry survived the eviction…
+    let survivor = plan_for(64);
+    assert!(Arc::ptr_eq(&first, &survivor), "hot entry must survive LRU eviction");
+    // …and the cold one did not: re-requesting 128 is a miss that in
+    // turn evicts the now-oldest entry (2).
+    plan_for(128);
+    let s = plan_cache_stats();
+    assert_eq!((s.hits, s.misses, s.evictions), (5, 6, 2));
+    let refetched = plan_for(2);
+    drop(refetched);
+    let s = plan_cache_stats();
+    assert_eq!(s.misses, 7, "evicted cold entry must rebuild");
+
+    set_plan_cache_capacity(32);
+}

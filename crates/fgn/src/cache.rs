@@ -17,14 +17,20 @@
 //! still build concurrently.
 //!
 //! Caches are process-global and size-bounded (entries at the paper
-//! scale run to megabytes); eviction simply clears the map — entries are
-//! pure functions of their key and rebuild on demand.
+//! scale run to megabytes); when a cache is full, admitting a new key
+//! evicts the least-recently-used entry *only* — entries are pure
+//! functions of their key and rebuild on demand, but interleaved
+//! workloads over many `(d, n)` pairs keep their hot entries resident.
+//! (The old policy cleared the whole map, so a single cold key wiped
+//! every hot entry and the next pass recomputed them all.) Hits, misses
+//! and evictions are counted through `vbr_stats::obs`.
 
 use crate::acvf::{farima_acf, fgn_acvf};
 use crate::davies_harte::circulant_spectrum;
 use crate::error::FgnError;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
+use vbr_stats::obs::{self, Counter};
 
 /// Per-cache entry bound: ACVF/spectrum vectors at the 171k-frame paper
 /// scale are ~8 MB each, so a handful of distinct (H, n) pairs is all a
@@ -36,42 +42,62 @@ type Key = (u64, usize);
 /// lock; the slot's own mutex serialises building, so concurrent first
 /// callers of one key wait for a single build instead of duplicating it.
 type Slot = Arc<Mutex<Option<Arc<Vec<f64>>>>>;
-type VecCache = Mutex<HashMap<Key, Slot>>;
+
+/// The slot map plus a logical clock: every access stamps its entry,
+/// and eviction removes the entry with the oldest stamp.
+#[derive(Default)]
+struct LruMap {
+    map: HashMap<Key, (Slot, u64)>,
+    tick: u64,
+}
+
+type VecCache = Mutex<LruMap>;
 
 fn fgn_acvf_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+    C.get_or_init(|| Mutex::new(LruMap::default()))
 }
 
 fn farima_acf_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+    C.get_or_init(|| Mutex::new(LruMap::default()))
 }
 
 fn spectrum_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+    C.get_or_init(|| Mutex::new(LruMap::default()))
 }
 
 fn farima_spectrum_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+    C.get_or_init(|| Mutex::new(LruMap::default()))
 }
 
 fn hosking_reflection_cache() -> &'static VecCache {
     static C: OnceLock<VecCache> = OnceLock::new();
-    C.get_or_init(|| Mutex::new(HashMap::new()))
+    C.get_or_init(|| Mutex::new(LruMap::default()))
 }
 
-/// Fetches the key's slot, evicting the whole map first if it has grown
-/// past the bound (entries rebuild on demand; in-flight holders keep
-/// their own `Arc` to the old slot).
+/// Fetches the key's slot, stamping it with the cache's logical clock.
+/// Admitting a new key into a full cache evicts the least-recently-used
+/// entry only (in-flight holders keep their own `Arc` to the evicted
+/// slot; hot entries stay resident — the point of the LRU order).
 fn slot_for(cache: &'static VecCache, key: Key) -> Slot {
-    let mut map = cache.lock().expect("acvf cache poisoned");
-    if map.len() >= MAX_ENTRIES && !map.contains_key(&key) {
-        map.clear();
+    let mut lru = cache.lock().expect("acvf cache poisoned");
+    lru.tick += 1;
+    let tick = lru.tick;
+    if let Some((slot, stamp)) = lru.map.get_mut(&key) {
+        *stamp = tick;
+        return Arc::clone(slot);
     }
-    Arc::clone(map.entry(key).or_default())
+    if lru.map.len() >= MAX_ENTRIES {
+        if let Some(cold) = lru.map.iter().min_by_key(|&(_, &(_, s))| s).map(|(&k, _)| k) {
+            lru.map.remove(&cold);
+            obs::counter_add(Counter::FgnCacheEvict, 1);
+        }
+    }
+    let (slot, _) = lru.map.entry(key).or_insert_with(|| (Slot::default(), tick));
+    Arc::clone(slot)
 }
 
 fn memoize(
@@ -82,8 +108,10 @@ fn memoize(
     let slot = slot_for(cache, key);
     let mut guard = slot.lock().expect("acvf cache slot poisoned");
     if let Some(hit) = guard.as_ref() {
+        obs::counter_add(Counter::FgnCacheHit, 1);
         return Arc::clone(hit);
     }
+    obs::counter_add(Counter::FgnCacheMiss, 1);
     let value = Arc::new(build());
     *guard = Some(Arc::clone(&value));
     value
@@ -97,8 +125,10 @@ fn memoize_try(
     let slot = slot_for(cache, key);
     let mut guard = slot.lock().expect("acvf cache slot poisoned");
     if let Some(hit) = guard.as_ref() {
+        obs::counter_add(Counter::FgnCacheHit, 1);
         return Ok(Arc::clone(hit));
     }
+    obs::counter_add(Counter::FgnCacheMiss, 1);
     // Failures are not cached: the slot stays empty and the next caller
     // retries (failure here means a genuinely non-PSD embedding, which
     // is deterministic per key, so retries fail fast anyway).

@@ -114,6 +114,7 @@ impl DaviesHarte {
         n: usize,
         rng: &mut Xoshiro256,
     ) -> Result<Vec<f64>, FgnError> {
+        let _span = vbr_stats::obs::span("fgn.davies_harte");
         if n == 0 {
             return Ok(Vec::new());
         }
@@ -141,6 +142,7 @@ impl DaviesHarte {
         n: usize,
         rng: &mut Xoshiro256,
     ) -> Result<Vec<f64>, FgnError> {
+        let _span = vbr_stats::obs::span("fgn.davies_harte");
         if n > gamma.len() {
             return Err(vbr_stats::error::NumericError::OutOfRange {
                 what: "requested length (exceeds provided acvf lags)",

@@ -53,6 +53,7 @@ impl Hosking {
     /// Like [`generate`](Self::generate) but drawing from a caller-owned
     /// RNG (for streaming several dependent components off one seed).
     pub fn generate_with(&self, n: usize, rng: &mut Xoshiro256) -> Vec<f64> {
+        let _span = vbr_stats::obs::span("fgn.hosking");
         if n == 0 {
             return Vec::new();
         }

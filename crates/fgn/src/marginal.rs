@@ -183,6 +183,7 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     /// (cleared and resized in place; repeat calls at one length
     /// allocate nothing).
     pub fn map_series_into(&self, xs: &[f64], out: &mut Vec<f64>) {
+        let _span = vbr_stats::obs::span("fgn.marginal_map");
         out.clear();
         out.extend_from_slice(xs);
         self.map_inplace(out);

@@ -12,6 +12,7 @@
 use crate::davies_harte::DaviesHarte;
 use crate::error::FgnError;
 use crate::hosking::Hosking;
+use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
 
 /// Which generator produced a sample path.
@@ -69,11 +70,15 @@ impl RobustFgn {
                 engine: FgnEngine::DaviesHarte,
                 fallback_reason: None,
             },
-            Err(reason) => RobustFgnResult {
-                series: Hosking::new(self.hurst, self.variance).generate(n, seed),
-                engine: FgnEngine::HoskingFallback,
-                fallback_reason: Some(reason),
-            },
+            Err(reason) => {
+                obs::counter_add(Counter::HoskingFallback, 1);
+                obs::event_with("fgn.hosking_fallback", || format!("n={n}, reason: {reason}"));
+                RobustFgnResult {
+                    series: Hosking::new(self.hurst, self.variance).generate(n, seed),
+                    engine: FgnEngine::HoskingFallback,
+                    fallback_reason: Some(reason),
+                }
+            }
         }
     }
 
@@ -91,11 +96,15 @@ impl RobustFgn {
                 engine: FgnEngine::DaviesHarte,
                 fallback_reason: None,
             },
-            Err(reason) => RobustFgnResult {
-                series: Hosking::new(self.hurst, self.variance).generate(n, seed),
-                engine: FgnEngine::HoskingFallback,
-                fallback_reason: Some(reason),
-            },
+            Err(reason) => {
+                obs::counter_add(Counter::HoskingFallback, 1);
+                obs::event_with("fgn.hosking_fallback", || format!("n={n}, reason: {reason}"));
+                RobustFgnResult {
+                    series: Hosking::new(self.hurst, self.variance).generate(n, seed),
+                    engine: FgnEngine::HoskingFallback,
+                    fallback_reason: Some(reason),
+                }
+            }
         }
     }
 }

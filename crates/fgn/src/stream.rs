@@ -47,6 +47,7 @@ use crate::davies_harte::synthesise_from_spectrum_into;
 use crate::error::FgnError;
 use std::sync::Arc;
 use vbr_fft::{next_pow2, Complex};
+use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
 
 /// Bulk sample source: anything that can fill a caller buffer with the
@@ -160,6 +161,8 @@ impl CirculantStream {
 
     /// Synthesises the next window into `cur`, cross-fading the seam.
     fn refill(&mut self) {
+        let _span = obs::span("fgn.stream_refill");
+        obs::counter_add(Counter::StreamBlocks, 1);
         self.pos = 0;
         let Some(spectrum) = &self.spectrum else {
             // White-noise path: batch-draw the block through the
@@ -181,6 +184,9 @@ impl CirculantStream {
             // Power-preserving cross-fade against the previous tail:
             // weights sum to one in *variance*, so the N(0, σ²) marginal
             // is preserved exactly at every blended sample.
+            if l > 0 {
+                obs::counter_add(Counter::SeamCrossFades, 1);
+            }
             for i in 0..l {
                 let a = (i + 1) as f64 / (l + 1) as f64;
                 self.cur[i] = (1.0 - a).sqrt() * self.tail[i] + a.sqrt() * self.cur[i];

@@ -1,0 +1,52 @@
+//! Exact-count tests of the fGn vector-cache LRU eviction.
+//!
+//! The cache and its counters are process-global, so this file is its
+//! own integration-test binary (own process) with a single `#[test]`
+//! function: the hit/miss/eviction deltas below are exact, not lower
+//! bounds.
+
+use vbr_fgn::DaviesHarte;
+use vbr_stats::obs::{counter_value, Counter};
+
+#[test]
+fn vec_cache_evicts_lru_only_and_counts_exactly() {
+    let n = 256; // spectrum key (H, m = 512)
+    let hot = DaviesHarte::new(0.8, 1.0);
+
+    // First generation builds the hot spectrum cold: one miss in the
+    // spectrum cache plus one in the ACVF cache its builder consults.
+    let base = hot.generate(n, 7);
+    assert_eq!(counter_value(Counter::FgnCacheMiss), 2);
+    assert_eq!(counter_value(Counter::FgnCacheHit), 0);
+
+    // Repeat generation is one pure spectrum-cache hit (the memoized
+    // builder never re-runs, so the ACVF cache is not consulted) and
+    // the output is bit-identical.
+    let again = hot.generate(n, 7);
+    assert_eq!(again, base);
+    assert_eq!(counter_value(Counter::FgnCacheHit), 1);
+    assert_eq!(counter_value(Counter::FgnCacheEvict), 0);
+
+    // Overflow the 16-entry caches with 24 cold H values, touching the
+    // hot entry every fourth insert so LRU order keeps it warm.
+    for i in 0..24u32 {
+        let h = 0.5 + 0.005 * f64::from(i);
+        DaviesHarte::new(h, 1.0).generate(n, 1);
+        if i % 4 == 0 {
+            hot.generate(n, 7);
+        }
+    }
+    // 25 distinct keys through each 16-slot cache (spectrum + ACVF):
+    // exactly 9 evictions per cache, every one choosing a cold entry
+    // over the hot one.
+    assert_eq!(counter_value(Counter::FgnCacheEvict), 18);
+    assert_eq!(counter_value(Counter::FgnCacheMiss), 50);
+
+    // The hot entry survived the churn: one more touch is a hit (no
+    // rebuild) and the output is still bit-identical.
+    let hits_before = counter_value(Counter::FgnCacheHit);
+    let survivor = hot.generate(n, 7);
+    assert_eq!(counter_value(Counter::FgnCacheHit), hits_before + 1);
+    assert_eq!(counter_value(Counter::FgnCacheMiss), 50, "hot entry must not rebuild");
+    assert_eq!(survivor, base);
+}

@@ -35,7 +35,9 @@ pub use error::LrdError;
 pub use local_whittle::{local_whittle, try_local_whittle, LocalWhittleEstimate};
 pub use periodogram_h::{periodogram_h, PeriodogramH};
 pub use report::{hurst_report, HurstReport, ReportOptions};
-pub use robust::{robust_hurst, robust_hurst_with, EstimatorKind, RobustHurst, RobustOptions};
+pub use robust::{
+    robust_hurst, robust_hurst_with, EstimatorAttempt, EstimatorKind, RobustHurst, RobustOptions,
+};
 pub use rs::{
     rs_aggregated, rs_analysis, rs_statistic, rs_varied, try_rs_analysis, RsAnalysis, RsOptions,
 };

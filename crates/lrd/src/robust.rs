@@ -17,6 +17,7 @@ use crate::rs::{try_rs_analysis, RsOptions};
 use crate::variance_time::{try_variance_time, VtOptions};
 use crate::whittle::{try_whittle_with, SpectralModel};
 use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant};
+use vbr_stats::obs::{self, Counter};
 
 /// Which estimator produced a value.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -43,6 +44,38 @@ impl std::fmt::Display for EstimatorKind {
     }
 }
 
+/// How one ensemble member fared — the full diagnostic record, kept
+/// even when the member's value is rejected or the chain answers early.
+#[derive(Debug, Clone)]
+pub struct EstimatorAttempt {
+    /// Which estimator ran.
+    pub kind: EstimatorKind,
+    /// The raw Hurst value it produced, if it produced one at all —
+    /// present even when the value was rejected as unphysical, so
+    /// disagreement diagnostics can show *what* the outlier said.
+    pub hurst: Option<f64>,
+    /// The typed error: `None` for an accepted estimate, `Some` when the
+    /// estimator failed or its value was rejected.
+    pub error: Option<LrdError>,
+}
+
+impl EstimatorAttempt {
+    /// True when this member's estimate entered the ensemble.
+    pub fn accepted(&self) -> bool {
+        self.hurst.is_some() && self.error.is_none()
+    }
+
+    /// One-line status string for reports: `ok`, `rejected` (a value was
+    /// produced but not trusted), or the error itself.
+    pub fn status(&self) -> String {
+        match (&self.hurst, &self.error) {
+            (_, None) => "ok".to_string(),
+            (Some(h), Some(e)) => format!("rejected (H = {h:.4}): {e}"),
+            (None, Some(e)) => e.to_string(),
+        }
+    }
+}
+
 /// The outcome of the ensemble estimation.
 #[derive(Debug, Clone)]
 pub struct RobustHurst {
@@ -60,6 +93,12 @@ pub struct RobustHurst {
     pub agreement: Option<f64>,
     /// Every estimator that failed, with its typed error.
     pub failures: Vec<(EstimatorKind, LrdError)>,
+    /// The complete per-estimator record, one entry per chain member in
+    /// chain order, regardless of how the run ended. Unlike
+    /// [`estimates`](Self::estimates)/[`failures`](Self::failures) this
+    /// never loses *which* estimators disagreed or what a rejected
+    /// member actually said.
+    pub attempts: Vec<EstimatorAttempt>,
 }
 
 impl RobustHurst {
@@ -153,17 +192,28 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
 
     let mut estimates = Vec::new();
     let mut failures = Vec::new();
+    let mut attempt_log: Vec<EstimatorAttempt> = Vec::with_capacity(CHAIN.len());
     for (kind, outcome) in attempts {
         match outcome {
             // Slope-based estimators can leave the physical range on
             // adversarial input; treat that as a failure, not an answer.
-            Ok(h) if h.is_finite() && h > 0.0 && h < 1.5 => estimates.push((kind, h)),
-            Ok(_) => failures.push((
-                kind,
-                vbr_stats::error::NumericError::NotConverged { what: "Hurst estimate" }
-                    .into(),
-            )),
-            Err(e) => failures.push((kind, e)),
+            Ok(h) if h.is_finite() && h > 0.0 && h < 1.5 => {
+                estimates.push((kind, h));
+                attempt_log.push(EstimatorAttempt { kind, hurst: Some(h), error: None });
+            }
+            Ok(h) => {
+                let e: LrdError =
+                    vbr_stats::error::NumericError::NotConverged { what: "Hurst estimate" }
+                        .into();
+                failures.push((kind, e));
+                // The rejected value itself is kept: "R/S said 2.7" is
+                // the diagnostic, not just "R/S failed".
+                attempt_log.push(EstimatorAttempt { kind, hurst: Some(h), error: Some(e) });
+            }
+            Err(e) => {
+                failures.push((kind, e));
+                attempt_log.push(EstimatorAttempt { kind, hurst: None, error: Some(e) });
+            }
         }
     }
 
@@ -188,12 +238,29 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
         None
     };
 
+    obs::counter_add(Counter::RobustHurstRuns, 1);
+    if by != EstimatorKind::Whittle {
+        obs::counter_add(Counter::EstimatorFallback, 1);
+    }
+    obs::event_with("lrd.robust_hurst.answered", || {
+        format!(
+            "by={by}, H={headline:.4}, spread={}, attempts=[{}]",
+            agreement.map_or("n/a".to_string(), |s| format!("{s:.4}")),
+            attempt_log
+                .iter()
+                .map(|a| format!("{}: {}", a.kind, a.status()))
+                .collect::<Vec<_>>()
+                .join("; ")
+        )
+    });
+
     Ok(RobustHurst {
         hurst: headline.clamp(1e-3, 1.0 - 1e-3),
         by,
         estimates,
         agreement,
         failures,
+        attempts: attempt_log,
     })
 }
 
@@ -274,6 +341,52 @@ mod tests {
             "trend went unnoticed: {:?}",
             r.estimates
         );
+    }
+
+    #[test]
+    fn attempts_record_every_chain_member() {
+        // Healthy long series: all four accepted, attempts mirror
+        // estimates exactly.
+        let xs = DaviesHarte::new(0.8, 1.0).generate(65_536, 21);
+        let r = robust_hurst(&xs).unwrap();
+        let kinds: Vec<EstimatorKind> = r.attempts.iter().map(|a| a.kind).collect();
+        assert_eq!(
+            kinds,
+            [
+                EstimatorKind::Whittle,
+                EstimatorKind::LocalWhittle,
+                EstimatorKind::RsAnalysis,
+                EstimatorKind::VarianceTime
+            ]
+        );
+        for a in &r.attempts {
+            assert!(a.accepted(), "{}: {}", a.kind, a.status());
+            assert_eq!(a.status(), "ok");
+        }
+
+        // Short series: the chain answers at R/S, but the attempt log
+        // still records what happened to *every* member — including the
+        // two that failed before the answering one.
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let short: Vec<f64> = (0..120).map(|_| rng.standard_normal()).collect();
+        let r = robust_hurst(&short).unwrap();
+        assert_eq!(r.attempts.len(), 4, "no member may be dropped");
+        let whittle = &r.attempts[0];
+        assert!(!whittle.accepted());
+        assert!(whittle.hurst.is_none());
+        assert!(matches!(
+            whittle.error,
+            Some(LrdError::Data(DataError::TooShort { .. }))
+        ));
+        // Accepted members of the attempt log and `estimates` agree bit
+        // for bit.
+        let accepted: Vec<(EstimatorKind, f64)> = r
+            .attempts
+            .iter()
+            .filter(|a| a.accepted())
+            .map(|a| (a.kind, a.hurst.unwrap()))
+            .collect();
+        assert_eq!(accepted, r.estimates);
     }
 
     #[test]

@@ -265,7 +265,9 @@ fn whittle_core(
     let mut dd = a + phi * (b - a);
     let mut fc = obj.eval(c);
     let mut fd = obj.eval(dd);
+    let mut iterations = 0u64;
     for _ in 0..100 {
+        iterations += 1;
         if fc < fd {
             b = dd;
             dd = c;
@@ -283,6 +285,7 @@ fn whittle_core(
             break;
         }
     }
+    vbr_stats::obs::counter_add(vbr_stats::obs::Counter::WhittleIterations, iterations);
     let d_hat = 0.5 * (a + b);
     if !d_hat.is_finite() {
         return Err(NumericError::NotConverged { what: "Whittle optimisation" }.into());

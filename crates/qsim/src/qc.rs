@@ -7,6 +7,7 @@ use crate::metrics::SimResult;
 use crate::mux::{lag_combinations, ArrivalCursor, LagCombination};
 use crate::queue::FluidQueue;
 use vbr_stats::error::{DataError, NumericError};
+use vbr_stats::obs::{self, Counter};
 use vbr_video::Trace;
 
 /// Slots per streaming chunk: the working-set size of every sweep in
@@ -166,6 +167,8 @@ impl<'a> MuxSim<'a> {
     /// per-slot allocation — since the Q-C searches call this thousands
     /// of times over multi-million-slot series.
     pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
+        let _span = obs::span("qsim.mux_run");
+        obs::counter_add(Counter::MuxRuns, 1);
         // Overload is deliberately legal here (transient studies run below
         // the mean rate); `try_run` is the variant that rejects it.
         //
@@ -314,6 +317,7 @@ impl<'a> MuxSim<'a> {
             }
         };
         for _ in 0..iterations {
+            obs::counter_add(Counter::QcProbes, 1);
             let mid = 0.5 * (lo + hi);
             if meets(mid) {
                 hi = mid;
@@ -352,6 +356,7 @@ pub fn qc_curve(
     metric: LossMetric,
     iterations: usize,
 ) -> Vec<QcPoint> {
+    let _span = obs::span("qsim.qc_curve");
     // Each T_max bisection is independent; sweep the grid on the worker
     // pool. The nested `MuxSim::run` parallelism automatically degrades
     // to serial inside these workers, so the thread count stays bounded,

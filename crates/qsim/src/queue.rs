@@ -9,6 +9,7 @@
 
 use crate::error::QsimError;
 use vbr_stats::error::{check_positive_param, NumericError};
+use vbr_stats::obs::{self, Counter, Hist};
 
 /// A finite-buffer fluid FIFO queue.
 #[derive(Debug, Clone)]
@@ -90,6 +91,9 @@ impl FluidQueue {
         let loss = (unserved - self.buffer_bytes).max(0.0);
         self.backlog = unserved - loss;
         self.lost += loss;
+        if loss > 0.0 {
+            obs::counter_add(Counter::QueueOverflowSlots, 1);
+        }
         loss
     }
 
@@ -111,6 +115,7 @@ impl FluidQueue {
     /// from zero would.
     pub fn step_block(&mut self, arrivals: &[f64], dt: f64) -> f64 {
         debug_assert!(dt > 0.0);
+        obs::hist_record(Hist::QueueBlockSlots, arrivals.len() as u64);
         let service = self.capacity_bps * dt;
         let buffer = self.buffer_bytes;
         let mut arrived = self.arrived;
@@ -118,6 +123,9 @@ impl FluidQueue {
         let mut lost = self.lost;
         let mut backlog = self.backlog;
         let mut block_loss = 0.0f64;
+        // Overflow slots are tallied in a register and flushed once per
+        // block so the hot loop never touches the shared atomic.
+        let mut overflow_slots = 0u64;
         for &a in arrivals {
             debug_assert!(a >= 0.0);
             arrived += a;
@@ -128,11 +136,15 @@ impl FluidQueue {
             backlog = unserved - loss;
             lost += loss;
             block_loss += loss;
+            overflow_slots += (loss > 0.0) as u64;
         }
         self.arrived = arrived;
         self.served = served;
         self.lost = lost;
         self.backlog = backlog;
+        if overflow_slots > 0 {
+            obs::counter_add(Counter::QueueOverflowSlots, overflow_slots);
+        }
         block_loss
     }
 

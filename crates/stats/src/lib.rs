@@ -27,6 +27,7 @@ pub mod error;
 pub mod gof;
 pub mod histogram;
 pub mod moving_average;
+pub mod obs;
 pub mod par;
 pub mod periodogram;
 pub mod regression;
