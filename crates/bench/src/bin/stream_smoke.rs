@@ -15,20 +15,33 @@
 //! kernel-enforced guard; the binary's own check is on VmHWM (peak
 //! resident), which is the claim DESIGN.md §10 makes.
 //!
-//! Usage: `stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>]`
+//! With `--checkpoint-every N` the run persists its full pipeline state
+//! (stream seam + RNG, queue accounting, totals, trace digest) to a
+//! two-generation rotated store every ~N slices; `--resume` restores the
+//! newest valid checkpoint and continues **bit-identically** — the final
+//! digest of a killed-and-resumed run equals the uninterrupted run's
+//! (DESIGN.md §13). A damaged or mismatched checkpoint degrades to the
+//! previous generation, then to a cold start with the
+//! `checkpoint_fallbacks` alarm counter raised; it never panics.
+//! `--kill-after-slices N` aborts the process (SIGKILL-equivalent: no
+//! destructors, no atexit) once N slices have been emitted, for
+//! deterministic crash drills.
+//!
+//! Usage: `stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>]
+//!   [--checkpoint-every N --checkpoint-dir <dir>] [--resume]
+//!   [--kill-after-slices N] [--digest]`
 //! Exit status: 0 on success, 1 on a memory-cap breach or an
-//! implausible pipeline result. With `--trace-json` the
-//! [`vbr_stats::obs`] collector records the run and the span tree plus
-//! streaming counters (blocks emitted, seam cross-fades) are dumped as
-//! JSON on exit.
+//! implausible pipeline result.
 
 use std::process::ExitCode;
 use std::time::Instant;
 
+use vbr_bench::checkpoint::{CheckpointStore, PipelineConfig, PipelineState, Recovery, TraceDigest};
+use vbr_bench::faults::KillPoint;
 use vbr_fgn::{FgnStream, MarginalTransform, TableMode};
 use vbr_qsim::FluidQueue;
 use vbr_stats::dist::GammaPareto;
-use vbr_stats::obs;
+use vbr_stats::obs::{self, Counter};
 
 /// Streaming block (fGn window) and consumer chunk sizes. The block
 /// bounds the generator's live state; the chunk is the hand-off buffer
@@ -46,6 +59,11 @@ fn main() -> ExitCode {
     let mut slices: usize = 1 << 24;
     let mut cap_mib: u64 = 256;
     let mut trace_out: Option<std::path::PathBuf> = None;
+    let mut ckpt_every: u64 = 0;
+    let mut ckpt_dir: Option<std::path::PathBuf> = None;
+    let mut resume = false;
+    let mut kill_after: Option<u64> = None;
+    let mut print_digest = false;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -59,12 +77,40 @@ fn main() -> ExitCode {
                 trace_out =
                     Some(std::path::PathBuf::from(args.next().expect("--trace-json needs a path")))
             }
+            "--checkpoint-every" => {
+                ckpt_every = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--checkpoint-every needs a slice count")
+            }
+            "--checkpoint-dir" => {
+                ckpt_dir = Some(std::path::PathBuf::from(
+                    args.next().expect("--checkpoint-dir needs a path"),
+                ))
+            }
+            "--resume" => resume = true,
+            "--kill-after-slices" => {
+                kill_after = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .expect("--kill-after-slices needs a count"),
+                )
+            }
+            "--digest" => print_digest = true,
             other => {
                 eprintln!("unknown argument: {other}");
-                eprintln!("usage: stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>]");
+                eprintln!(
+                    "usage: stream_smoke [--slices N] [--cap-mib M] [--trace-json <path>] \
+                     [--checkpoint-every N --checkpoint-dir <dir>] [--resume] \
+                     [--kill-after-slices N] [--digest]"
+                );
                 return ExitCode::from(2);
             }
         }
+    }
+    if (ckpt_every > 0 || resume) && ckpt_dir.is_none() {
+        eprintln!("--checkpoint-every/--resume need --checkpoint-dir");
+        return ExitCode::from(2);
     }
     if trace_out.is_some() {
         obs::install_collector(1 << 12);
@@ -72,28 +118,128 @@ fn main() -> ExitCode {
 
     // Paper-scale model: H = 0.8 fGn under the Table 2 Gamma/Pareto
     // marginal, slots at 30 slices per 24 fps frame.
-    let hurst = 0.8;
-    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
-    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
-    let dt = 1.0 / (24.0 * 30.0);
-    let capacity = 27_791.0 / dt * 1.2; // 20% headroom over the mean frame rate
-    let buffer = 1e6;
+    let config = PipelineConfig {
+        hurst: 0.8,
+        variance: 1.0,
+        block: BLOCK,
+        overlap: None,
+        table_n: 10_000,
+        marginal: (27_791.0, 6_254.0, 9.0),
+        dt: 1.0 / (24.0 * 30.0),
+        capacity_bps: 27_791.0 / (1.0 / (24.0 * 30.0)) * 1.2, // 20% headroom over mean
+        buffer_bytes: 1e6,
+        seed: 42,
+    };
+    let param_hash = config.param_hash();
+    let target = GammaPareto::from_params(config.marginal.0, config.marginal.1, config.marginal.2);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(config.table_n));
+    let dt = config.dt;
+
+    let store = match &ckpt_dir {
+        Some(dir) => match CheckpointStore::new(dir) {
+            Ok(s) => Some(s),
+            Err(e) => {
+                eprintln!("cannot open checkpoint store {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        },
+        None => None,
+    };
 
     let t0 = Instant::now();
     let run_span = obs::span("stream_smoke.run");
-    let mut src = FgnStream::new(hurst, 1.0, BLOCK, 42);
+    let mut src = FgnStream::new(config.hurst, config.variance, config.block, config.seed);
     let mut buf = vec![0.0f64; CHUNK];
-    let mut q = FluidQueue::new(buffer, capacity);
+    let mut q = FluidQueue::new(config.buffer_bytes, config.capacity_bps);
     let mut total_bytes = 0.0f64;
-    let mut left = slices;
-    while left > 0 {
-        let take = left.min(buf.len());
+    let mut digest = TraceDigest::new();
+    let mut done: u64 = 0;
+    let mut seq: u64 = 0;
+
+    // Restore: walk the degradation ladder, then graft the recovered
+    // state onto the freshly built pipeline. A state that passes the
+    // codec's CRCs but fails semantic validation (hostile bytes that
+    // happen to checksum) degrades to a cold start — never a panic.
+    if resume {
+        let recovered = match store.as_ref().expect("checked above").recover(param_hash) {
+            Recovery::Latest { seq: s, state } => {
+                println!("stream_smoke: resuming from checkpoint seq {s}");
+                Some((s, state))
+            }
+            Recovery::Previous { seq: s, state, damaged } => {
+                eprintln!(
+                    "stream_smoke: newest checkpoint damaged ({damaged} file(s)); \
+                     falling back to generation seq {s}"
+                );
+                Some((s, state))
+            }
+            Recovery::ColdStart { damaged } => {
+                if damaged > 0 {
+                    eprintln!(
+                        "stream_smoke: all {damaged} checkpoint file(s) damaged; cold start"
+                    );
+                } else {
+                    println!("stream_smoke: no checkpoint found; cold start");
+                }
+                None
+            }
+        };
+        if let Some((s, state)) = recovered {
+            match graft(&mut src, &mut q, &state) {
+                Ok(()) => {
+                    total_bytes = state.total_bytes;
+                    digest = TraceDigest::from_value(state.digest);
+                    done = state.slices_done;
+                    seq = s + 1;
+                    obs::counter_restore(Counter::CheckpointWrites, state.checkpoint_writes);
+                }
+                Err(e) => {
+                    eprintln!("stream_smoke: checkpoint state rejected ({e}); cold start");
+                    obs::counter_add(Counter::CheckpointFallbacks, 1);
+                    src = FgnStream::new(config.hurst, config.variance, config.block, config.seed);
+                    q = FluidQueue::new(config.buffer_bytes, config.capacity_bps);
+                }
+            }
+        }
+    }
+
+    let mut kill = KillPoint::new(kill_after);
+    // Pre-credit the kill point with already-done work so a drill's
+    // threshold means "total slices emitted", resumed or not.
+    kill.advance(done.min(kill_after.unwrap_or(u64::MAX).saturating_sub(1)));
+    let mut next_ckpt = if ckpt_every > 0 { done + ckpt_every } else { u64::MAX };
+
+    while done < slices as u64 {
+        let take = (slices as u64 - done).min(buf.len() as u64) as usize;
         xform.map_block_from(&mut src, &mut buf[..take]);
+        digest.update(&buf[..take]);
         for &a in &buf[..take] {
             total_bytes += a;
             q.step(a, dt);
         }
-        left -= take;
+        done += take as u64;
+        if done >= next_ckpt {
+            let state = PipelineState {
+                slices_done: done,
+                total_bytes,
+                digest: digest.value(),
+                checkpoint_writes: obs::counter_value(Counter::CheckpointWrites) + 1,
+                stream: src.export_state(),
+                queue: q.export_state(),
+            };
+            if let Err(e) = store.as_ref().expect("cadence implies store").write(
+                &state, param_hash, seq,
+            ) {
+                eprintln!("stream_smoke: checkpoint write failed ({e}); continuing");
+            } else {
+                seq += 1;
+            }
+            next_ckpt = done + ckpt_every;
+        }
+        if kill.advance(take as u64) {
+            eprintln!("stream_smoke: kill point reached at {done} slices; aborting");
+            std::process::abort();
+        }
     }
     drop(run_span);
     let secs = t0.elapsed().as_secs_f64();
@@ -105,6 +251,9 @@ fn main() -> ExitCode {
          mean slice {mean_slice:.0} bytes, loss rate {loss:.3e}",
         slices as f64 / secs / 1e6
     );
+    if print_digest {
+        println!("stream_smoke: digest {:#018x}", digest.value());
+    }
 
     // Sanity: the marginal mean must come out near the Gamma/Pareto
     // mean (slice level ~ mu), and the queue must have seen the load.
@@ -140,4 +289,18 @@ fn main() -> ExitCode {
         }
     }
     ExitCode::SUCCESS
+}
+
+/// Grafts a recovered pipeline state onto the live components. Any
+/// rejection leaves both in their freshly-built condition (each
+/// `restore_state` validates before mutating, and the stream is grafted
+/// first), so the caller can fall back to a cold start.
+fn graft(
+    src: &mut FgnStream,
+    q: &mut FluidQueue,
+    state: &PipelineState,
+) -> Result<(), vbr_stats::snapshot::SnapshotError> {
+    src.restore_state(&state.stream)?;
+    q.restore_state(&state.queue)?;
+    Ok(())
 }

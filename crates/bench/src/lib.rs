@@ -9,11 +9,13 @@ use std::path::{Path, PathBuf};
 
 use vbr_video::{generate_screenplay, ScreenplayConfig, Trace};
 
+pub mod checkpoint;
 pub mod experiments;
 pub mod faults;
 pub mod perf;
 
-pub use faults::{Corruption, FaultInjector};
+pub use checkpoint::{CheckpointStore, PipelineConfig, PipelineState, Recovery, TraceDigest};
+pub use faults::{Corruption, FaultInjector, FileCorruption, KillPoint};
 pub use perf::{time_median, PerfEntry, PerfReport};
 
 /// Execution context shared by every experiment.

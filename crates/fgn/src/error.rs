@@ -1,7 +1,7 @@
 //! Typed errors for the LRD sample-path generators.
 
 use std::fmt;
-use vbr_stats::error::NumericError;
+use vbr_stats::error::{DataError, NumericError};
 
 /// Why a generator could not be built or could not produce a path.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,6 +31,9 @@ pub enum FgnError {
     },
     /// A parameter failure from the shared validators.
     Numeric(NumericError),
+    /// A sample-level failure (e.g. a non-finite value crossing a
+    /// pipeline stage seam) from the shared validators.
+    Data(DataError),
 }
 
 impl fmt::Display for FgnError {
@@ -48,6 +51,7 @@ impl fmt::Display for FgnError {
                  (min eigenvalue {min_eigenvalue:e}); use an exact O(n²) generator"
             ),
             FgnError::Numeric(e) => e.fmt(f),
+            FgnError::Data(e) => e.fmt(f),
         }
     }
 }
@@ -56,6 +60,7 @@ impl std::error::Error for FgnError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             FgnError::Numeric(e) => Some(e),
+            FgnError::Data(e) => Some(e),
             _ => None,
         }
     }
@@ -64,5 +69,11 @@ impl std::error::Error for FgnError {
 impl From<NumericError> for FgnError {
     fn from(e: NumericError) -> Self {
         FgnError::Numeric(e)
+    }
+}
+
+impl From<DataError> for FgnError {
+    fn from(e: DataError) -> Self {
+        FgnError::Data(e)
     }
 }

@@ -46,4 +46,6 @@ pub use error::FgnError;
 pub use hosking::Hosking;
 pub use marginal::{MarginalTransform, TableMode};
 pub use robust::{FgnEngine, RobustFgn, RobustFgnResult};
-pub use stream::{farima_via_circulant, BlockSource, CirculantStream, FarimaStream, FgnStream};
+pub use stream::{
+    farima_via_circulant, BlockSource, CirculantStream, FarimaStream, FgnStream, StreamState,
+};

@@ -127,6 +127,11 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
 
     #[inline]
     fn map_exact(&self, x: f64) -> f64 {
+        // Tripwire (debug builds): a NaN/Inf here propagates silently
+        // through `norm_cdf` into the output; production callers that
+        // may see hostile samples use `try_map_block_from`/
+        // `try_map_series` for the typed refusal.
+        debug_assert!(x.is_finite(), "non-finite sample {x} at the marginal-transform seam");
         let u = norm_cdf((x - self.src_mean) / self.src_sd);
         self.target.quantile(u.clamp(1e-300, 1.0 - 1e-16))
     }
@@ -143,6 +148,10 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     /// construction, independent of block boundaries.
     #[inline(always)]
     fn map_table_one(&self, x: f64) -> f64 {
+        // Tripwire (debug builds): a NaN z fails every knot comparison
+        // and interpolates to NaN without any signal. See
+        // `try_map_block_from` for the release-mode typed guard.
+        debug_assert!(x.is_finite(), "non-finite sample {x} at the marginal-transform seam");
         let z = (x - self.src_mean) / self.src_sd;
         let (t, zk) = (&self.table, &self.zknots);
         let n = t.len();
@@ -229,6 +238,33 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     pub fn map_block_from<S: crate::stream::BlockSource>(&self, src: &mut S, out: &mut [f64]) {
         src.next_block(out);
         self.map_inplace(out);
+    }
+
+    /// Fallible [`map_block_from`](Self::map_block_from): verifies the
+    /// generated Gaussian block is entirely finite *before* the
+    /// transform (a NaN/Inf would otherwise interpolate to garbage
+    /// silently) and that the transformed block is finite *after* it.
+    /// On error, `out` holds the offending untransformed samples for
+    /// diagnosis; no partial transform is applied.
+    pub fn try_map_block_from<S: crate::stream::BlockSource>(
+        &self,
+        src: &mut S,
+        out: &mut [f64],
+    ) -> Result<(), crate::error::FgnError> {
+        src.next_block(out);
+        vbr_stats::error::check_all_finite(out)?;
+        self.map_inplace(out);
+        vbr_stats::error::check_all_finite(out)?;
+        Ok(())
+    }
+
+    /// Fallible [`map_series`](Self::map_series): typed refusal on any
+    /// non-finite input or output sample.
+    pub fn try_map_series(&self, xs: &[f64]) -> Result<Vec<f64>, crate::error::FgnError> {
+        vbr_stats::error::check_all_finite(xs)?;
+        let out = self.map_series(xs);
+        vbr_stats::error::check_all_finite(&out)?;
+        Ok(out)
     }
 
     /// The largest value the transform can produce (table mode truncates
@@ -364,6 +400,47 @@ mod tests {
         let mut buf = vec![0.0; 512];
         f.map_block_from(&mut stream, &mut buf);
         assert_eq!(buf, want);
+    }
+
+    #[test]
+    fn try_block_path_matches_infallible_path_and_rejects_nan() {
+        let t = target();
+        let f = MarginalTransform::new(&t, 0.0, 1.0, TableMode::Table(10_000));
+        let mut stream = crate::FgnStream::new(0.8, 1.0, 512, 3);
+        let mut want = vec![0.0; 512];
+        f.map_block_from(&mut stream, &mut want);
+
+        let mut stream = crate::FgnStream::new(0.8, 1.0, 512, 3);
+        let mut got = vec![0.0; 512];
+        f.try_map_block_from(&mut stream, &mut got).unwrap();
+        assert_eq!(got, want);
+
+        // A source that injects a NaN is refused with the sample-level
+        // typed error, not transformed into plausible-looking traffic.
+        struct Poisoned;
+        impl crate::stream::BlockSource for Poisoned {
+            fn next_block(&mut self, out: &mut [f64]) {
+                out.fill(0.5);
+                out[3] = f64::NAN;
+            }
+        }
+        let mut buf = vec![0.0; 8];
+        match f.try_map_block_from(&mut Poisoned, &mut buf) {
+            Err(crate::error::FgnError::Data(
+                vbr_stats::error::DataError::NonFiniteSample { index, .. },
+            )) => assert_eq!(index, 3),
+            other => panic!("expected NonFiniteSample, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn try_map_series_guards_both_seams() {
+        let t = target();
+        let f = MarginalTransform::new(&t, 0.0, 1.0, TableMode::Exact);
+        let clean = [0.1, -0.7, 2.0];
+        assert_eq!(f.try_map_series(&clean).unwrap(), f.map_series(&clean));
+        assert!(f.try_map_series(&[0.1, f64::INFINITY]).is_err());
+        assert!(f.try_map_series(&[f64::NAN]).is_err());
     }
 
     #[test]

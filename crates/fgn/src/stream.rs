@@ -49,6 +49,7 @@ use std::sync::Arc;
 use vbr_fft::{next_pow2, Complex};
 use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
+use vbr_stats::snapshot::{Payload, Section, SnapshotError};
 
 /// Bulk sample source: anything that can fill a caller buffer with the
 /// next run of samples. Implemented by all streams here; consumed by
@@ -225,6 +226,146 @@ impl Iterator for CirculantStream {
         let v = self.cur[self.pos];
         self.pos += 1;
         Some(v)
+    }
+}
+
+/// The dynamic (per-run) state of a circulant stream, exportable for
+/// checkpoint/restore.
+///
+/// Configuration — Hurst, variance, block, overlap, and hence the
+/// circulant spectrum — is deliberately *not* part of the state: a
+/// restore target is rebuilt from its own configuration (whose
+/// parameter hash the snapshot envelope guards) and then has this
+/// dynamic state grafted on via [`CirculantStream::restore_state`].
+/// That keeps snapshots `O(block)` and makes a config/state mismatch a
+/// typed error instead of silent garbage.
+///
+/// The restore contract is **bit-identity**: a stream rebuilt from an
+/// exported state emits exactly the same remaining samples, whatever
+/// point of a window the export happened at (the current window and
+/// seam tail travel in full).
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamState {
+    /// RNG state ([`Xoshiro256::state`]).
+    pub rng: [u64; 4],
+    /// The window being emitted (empty before the first refill).
+    pub cur: Vec<f64>,
+    /// Exact tail of the previous window awaiting the next cross-fade.
+    pub tail: Vec<f64>,
+    /// Emit position within `cur`.
+    pub pos: usize,
+    /// Whether a window has been synthesised (seam blending is active).
+    pub started: bool,
+}
+
+impl StreamState {
+    /// Serialises the state into a snapshot section payload.
+    pub fn encode(&self, p: &mut Payload) {
+        p.put_u64_slice(&self.rng);
+        p.put_f64_slice(&self.cur);
+        p.put_f64_slice(&self.tail);
+        p.put_usize(self.pos);
+        p.put_bool(self.started);
+    }
+
+    /// Deserialises a state from a snapshot section. Structural bounds
+    /// are enforced here; semantic validation against a concrete stream
+    /// happens in [`CirculantStream::restore_state`].
+    pub fn decode(s: &mut Section) -> Result<Self, SnapshotError> {
+        let rng_vec = s.get_u64_vec()?;
+        let rng: [u64; 4] = rng_vec
+            .try_into()
+            .map_err(|_| SnapshotError::Invalid { what: "rng state is not 4 words" })?;
+        let cur = s.get_f64_vec()?;
+        let tail = s.get_f64_vec()?;
+        let pos = s.get_usize()?;
+        let started = s.get_bool()?;
+        Ok(StreamState { rng, cur, tail, pos, started })
+    }
+}
+
+impl CirculantStream {
+    /// Exports the dynamic state (RNG, current window, seam tail,
+    /// position) for checkpointing. `O(block + overlap)` copied floats.
+    pub fn export_state(&self) -> StreamState {
+        StreamState {
+            rng: self.rng.state(),
+            cur: self.cur.clone(),
+            tail: self.tail.clone(),
+            pos: self.pos,
+            started: self.started,
+        }
+    }
+
+    /// Grafts an exported state onto this (same-configuration) stream.
+    ///
+    /// Every structural invariant is validated before anything is
+    /// mutated, so a hostile state leaves the stream untouched:
+    /// buffer lengths must match this stream's geometry, the position
+    /// must lie within the window, all samples must be finite, and the
+    /// RNG state must not be the degenerate all-zero word.
+    pub fn restore_state(&mut self, st: &StreamState) -> Result<(), SnapshotError> {
+        let rng = Xoshiro256::from_state(st.rng)
+            .ok_or(SnapshotError::Invalid { what: "all-zero rng state" })?;
+        if !(st.cur.is_empty() || st.cur.len() == self.block) {
+            return Err(SnapshotError::Invalid { what: "window length != stream block" });
+        }
+        if !(st.tail.is_empty() || st.tail.len() == self.overlap) {
+            return Err(SnapshotError::Invalid { what: "tail length != stream overlap" });
+        }
+        if st.pos > st.cur.len() {
+            return Err(SnapshotError::Invalid { what: "emit position past window end" });
+        }
+        if self.spectrum.is_none() && (st.started || !st.tail.is_empty()) {
+            return Err(SnapshotError::Invalid { what: "seam state on a white-noise stream" });
+        }
+        if self.spectrum.is_some() && !st.started {
+            // `started` flips on the first circulant refill; the only
+            // pre-start state is the empty one. (White-noise streams
+            // never set it and were handled above.)
+            if !(st.cur.is_empty() && st.tail.is_empty() && st.pos == 0) {
+                return Err(SnapshotError::Invalid { what: "window present before first refill" });
+            }
+        }
+        if st.cur.iter().chain(st.tail.iter()).any(|v| !v.is_finite()) {
+            return Err(SnapshotError::Invalid { what: "non-finite sample in stream state" });
+        }
+        self.rng = rng;
+        self.cur.clear();
+        self.cur.extend_from_slice(&st.cur);
+        self.tail.clear();
+        self.tail.extend_from_slice(&st.tail);
+        self.pos = st.pos;
+        self.started = st.started;
+        Ok(())
+    }
+}
+
+impl FgnStream {
+    /// Exports the dynamic state for checkpointing; see
+    /// [`CirculantStream::export_state`].
+    pub fn export_state(&self) -> StreamState {
+        self.0.export_state()
+    }
+
+    /// Restores an exported state; see
+    /// [`CirculantStream::restore_state`].
+    pub fn restore_state(&mut self, st: &StreamState) -> Result<(), SnapshotError> {
+        self.0.restore_state(st)
+    }
+}
+
+impl FarimaStream {
+    /// Exports the dynamic state for checkpointing; see
+    /// [`CirculantStream::export_state`].
+    pub fn export_state(&self) -> StreamState {
+        self.0.export_state()
+    }
+
+    /// Restores an exported state; see
+    /// [`CirculantStream::restore_state`].
+    pub fn restore_state(&mut self, st: &StreamState) -> Result<(), SnapshotError> {
+        self.0.restore_state(st)
     }
 }
 
@@ -615,6 +756,99 @@ mod tests {
             FarimaStream::try_new(0.3, 1.0, 64, 0),
             Err(FgnError::InvalidHurst { .. })
         ));
+    }
+
+    #[test]
+    fn export_restore_resumes_bit_identically() {
+        // Kill at an arbitrary (non-boundary) point, restore into a
+        // freshly built same-config stream, and the remainder must be
+        // bit-identical to the uninterrupted run.
+        for (block, overlap, taken) in
+            [(64usize, None, 100usize), (500, Some(123), 777), (1, None, 5), (64, Some(0), 64)]
+        {
+            let build = |ovl: Option<usize>| match ovl {
+                None => FgnStream::new(0.8, 1.5, block, 21),
+                Some(l) => FgnStream::with_overlap(0.8, 1.5, block, l, 21),
+            };
+            let mut uninterrupted = build(overlap);
+            let full: Vec<f64> = uninterrupted.by_ref().take(taken + 500).collect();
+
+            let mut first = build(overlap);
+            let _prefix: Vec<f64> = first.by_ref().take(taken).collect();
+            let state = first.export_state();
+            drop(first); // the "crash"
+
+            let mut resumed = build(overlap);
+            resumed.restore_state(&state).unwrap();
+            let rest: Vec<f64> = resumed.take(500).collect();
+            let want: Vec<u64> = full[taken..].iter().map(|v| v.to_bits()).collect();
+            let got: Vec<u64> = rest.iter().map(|v| v.to_bits()).collect();
+            assert_eq!(got, want, "block={block} overlap={overlap:?} taken={taken}");
+        }
+    }
+
+    #[test]
+    fn farima_export_restore_resumes_bit_identically() {
+        let mut uninterrupted = FarimaStream::try_new(0.8, 1.0, 200, 4).unwrap();
+        let full: Vec<f64> = uninterrupted.by_ref().take(900).collect();
+        let mut first = FarimaStream::try_new(0.8, 1.0, 200, 4).unwrap();
+        let _prefix: Vec<f64> = first.by_ref().take(333).collect();
+        let state = first.export_state();
+        let mut resumed = FarimaStream::try_new(0.8, 1.0, 200, 4).unwrap();
+        resumed.restore_state(&state).unwrap();
+        let got: Vec<u64> = resumed.take(900 - 333).map(|v| v.to_bits()).collect();
+        let want: Vec<u64> = full[333..].iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn restore_rejects_mismatched_or_hostile_state() {
+        let mut donor = FgnStream::new(0.8, 1.0, 64, 1);
+        let _: Vec<f64> = donor.by_ref().take(10).collect();
+        let good = donor.export_state();
+
+        // Wrong geometry: state from a block-64 stream into a block-128 one.
+        let mut other = FgnStream::new(0.8, 1.0, 128, 1);
+        assert!(other.restore_state(&good).is_err());
+
+        // Hostile mutations, each a typed refusal on the right stream.
+        let mut target = FgnStream::new(0.8, 1.0, 64, 2);
+        let mut bad = good.clone();
+        bad.rng = [0; 4];
+        assert!(target.restore_state(&bad).is_err());
+        let mut bad = good.clone();
+        bad.pos = bad.cur.len() + 1;
+        assert!(target.restore_state(&bad).is_err());
+        let mut bad = good.clone();
+        if !bad.cur.is_empty() {
+            bad.cur[0] = f64::NAN;
+        }
+        assert!(target.restore_state(&bad).is_err());
+        let mut bad = good.clone();
+        bad.tail.push(0.5);
+        assert!(target.restore_state(&bad).is_err());
+        // A refused restore leaves the target fully functional…
+        target.restore_state(&good).unwrap();
+        // …and resuming it matches the donor's continuation.
+        let a: Vec<u64> = target.take(100).map(|v| v.to_bits()).collect();
+        let b: Vec<u64> = donor.take(100).map(|v| v.to_bits()).collect();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn stream_state_codec_round_trip() {
+        use vbr_stats::snapshot::{SnapshotReader, SnapshotWriter};
+        let mut s = FgnStream::new(0.8, 1.0, 100, 9);
+        let _: Vec<f64> = s.by_ref().take(157).collect();
+        let state = s.export_state();
+        let mut w = SnapshotWriter::new(1, 1);
+        w.section(0x5354_524D, |p| state.encode(p));
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let mut sec = r.section(0x5354_524D, "stream").unwrap();
+        let decoded = StreamState::decode(&mut sec).unwrap();
+        sec.finish().unwrap();
+        assert_eq!(decoded, state);
     }
 
     #[test]

@@ -39,10 +39,10 @@ pub use error::QsimError;
 pub use metrics::{worst_window_loss, DelayStats, SimResult};
 pub use mux::{
     aggregate_arrivals, aggregate_arrivals_multi, draw_offsets, lag_combinations, ArrivalCursor,
-    LagCombination,
+    CursorState, LagCombination,
 };
 pub use priority::{simulate_layered, LayeredResult, PriorityQueue};
 pub use shaping::{min_cbr_rate, smooth_to_cbr, SmoothingResult};
 pub use qc::{qc_curve, AveragedLoss, LossMetric, LossTarget, MuxSim, QcPoint};
-pub use queue::FluidQueue;
+pub use queue::{FluidQueue, QueueState};
 pub use smg::{smg_curve, SmgPoint};

@@ -4,6 +4,7 @@
 //! even at long lags — six random lag combinations averaged for N > 2.
 
 use vbr_stats::rng::Xoshiro256;
+use vbr_stats::snapshot::{Payload, Section, SnapshotError};
 use vbr_video::Trace;
 
 /// One choice of per-source offsets (in frames).
@@ -152,7 +153,89 @@ impl<'a> ArrivalCursor<'a> {
             *c = idx;
         }
         self.emitted += take;
+        // Tripwire (debug builds): the aggregate is a sum of u32
+        // conversions so it can only go non-finite if enough sources
+        // overflow the f64 range — silent today, loud here.
+        debug_assert!(
+            out.iter().all(|v| v.is_finite()),
+            "non-finite aggregate at the mux seam"
+        );
         take
+    }
+
+    /// Fallible [`next_block`](Self::next_block): verifies the
+    /// aggregate slots are all finite before handing them downstream,
+    /// consistent with the typed guards on `FluidQueue::try_step`.
+    pub fn try_next_block(&mut self, out: &mut [f64]) -> Result<usize, crate::error::QsimError> {
+        let take = self.next_block(out);
+        vbr_stats::error::check_all_finite(&out[..take])?;
+        Ok(take)
+    }
+
+    /// Captures the cursor's dynamic state for a checkpoint: the
+    /// per-source read positions and the emitted-slot count. The trace
+    /// itself is *not* serialized — the restore target re-borrows it
+    /// and the snapshot's parameter hash guards against a swap.
+    pub fn export_state(&self) -> CursorState {
+        CursorState {
+            cursors: self.cursors.clone(),
+            emitted: self.emitted,
+        }
+    }
+
+    /// Grafts a previously exported state onto this cursor. Validated
+    /// before any mutation: the source count must match, every cursor
+    /// must index inside the trace, and `emitted` cannot exceed the
+    /// sweep length. On error the cursor is untouched.
+    pub fn restore_state(&mut self, st: &CursorState) -> Result<(), SnapshotError> {
+        let n = self.slices.len();
+        if st.cursors.len() != self.cursors.len() {
+            return Err(SnapshotError::Invalid { what: "cursor source count" });
+        }
+        if st.cursors.iter().any(|&c| c >= n) {
+            return Err(SnapshotError::Invalid { what: "cursor out of trace bounds" });
+        }
+        if st.emitted > n {
+            return Err(SnapshotError::Invalid { what: "emitted exceeds sweep length" });
+        }
+        self.cursors.clear();
+        self.cursors.extend_from_slice(&st.cursors);
+        self.emitted = st.emitted;
+        Ok(())
+    }
+}
+
+/// The dynamic state of an [`ArrivalCursor`] — read positions and
+/// progress, not the borrowed trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CursorState {
+    /// Per-source read position in slices.
+    pub cursors: Vec<usize>,
+    /// Slots already yielded.
+    pub emitted: usize,
+}
+
+impl CursorState {
+    /// Appends the state to a snapshot section payload.
+    pub fn encode(&self, p: &mut Payload) {
+        let words: Vec<u64> = self.cursors.iter().map(|&c| c as u64).collect();
+        p.put_u64_slice(&words);
+        p.put_usize(self.emitted);
+    }
+
+    /// Reads a state back from a snapshot section, in [`encode`]
+    /// (Self::encode) order.
+    pub fn decode(s: &mut Section) -> Result<Self, SnapshotError> {
+        let words = s.get_u64_vec()?;
+        let mut cursors = Vec::with_capacity(words.len());
+        for w in words {
+            if w > usize::MAX as u64 {
+                return Err(SnapshotError::Invalid { what: "cursor position overflows usize" });
+            }
+            cursors.push(w as usize);
+        }
+        let emitted = s.get_usize()?;
+        Ok(CursorState { cursors, emitted })
     }
 }
 
@@ -336,6 +419,63 @@ mod tests {
         assert_eq!(c.remaining(), 11);
         assert_eq!(c.by_ref().count(), 11);
         assert_eq!(c.next(), None); // fused: stays exhausted
+    }
+
+    #[test]
+    fn cursor_state_round_trip_resumes_bit_identically() {
+        let t = toy_trace();
+        let lags = LagCombination { offsets: vec![0, 2, 5] };
+        let want: Vec<f64> = ArrivalCursor::new(&t, &lags).collect();
+        // Kill after 7 of 12 slots, restore into a fresh cursor.
+        let mut left = ArrivalCursor::new(&t, &lags);
+        let mut buf = [0.0; 7];
+        assert_eq!(left.next_block(&mut buf), 7);
+        let st = left.export_state();
+        let mut resumed = ArrivalCursor::new(&t, &lags);
+        resumed.restore_state(&st).unwrap();
+        let rest: Vec<f64> = resumed.collect();
+        assert_eq!(rest.len(), 5);
+        assert_eq!(&want[7..], &rest[..]);
+    }
+
+    #[test]
+    fn cursor_restore_rejects_hostile_states() {
+        let t = toy_trace();
+        let lags = LagCombination { offsets: vec![0, 2] };
+        let mut c = ArrivalCursor::new(&t, &lags);
+        let good = c.export_state();
+        for bad in [
+            CursorState { cursors: vec![0], emitted: 0 },          // source count
+            CursorState { cursors: vec![0, 99], emitted: 0 },      // out of bounds
+            CursorState { cursors: vec![0, 4], emitted: 13 },      // emitted > n
+        ] {
+            assert!(c.restore_state(&bad).is_err(), "accepted {bad:?}");
+            assert_eq!(c.export_state(), good);
+        }
+    }
+
+    #[test]
+    fn cursor_state_codec_round_trip() {
+        use vbr_stats::snapshot::{SnapshotReader, SnapshotWriter};
+        let st = CursorState { cursors: vec![3, 11, 0], emitted: 9 };
+        let mut w = SnapshotWriter::new(1, 1);
+        w.section(0x43, |p| st.encode(p));
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let mut s = r.section(0x43, "cursor").unwrap();
+        let got = CursorState::decode(&mut s).unwrap();
+        s.finish().unwrap();
+        assert_eq!(got, st);
+    }
+
+    #[test]
+    fn try_next_block_passes_clean_aggregates() {
+        let t = toy_trace();
+        let mut c = ArrivalCursor::new(&t, &LagCombination { offsets: vec![0, 3] });
+        let mut buf = [0.0; 12];
+        let k = c.try_next_block(&mut buf).unwrap();
+        assert_eq!(k, 12);
+        assert!(buf.iter().all(|v| v.is_finite()));
     }
 
     #[test]

@@ -10,6 +10,7 @@
 use crate::error::QsimError;
 use vbr_stats::error::{check_positive_param, NumericError};
 use vbr_stats::obs::{self, Counter, Hist};
+use vbr_stats::snapshot::{Payload, Section, SnapshotError};
 
 /// A finite-buffer fluid FIFO queue.
 #[derive(Debug, Clone)]
@@ -148,6 +149,36 @@ impl FluidQueue {
         block_loss
     }
 
+    /// Fallible [`step_block`](Self::step_block): validates `dt` and
+    /// every arrival (finite, non-negative) *before* mutating anything,
+    /// so a poisoned block leaves the queue accounting untouched. Same
+    /// error taxonomy as [`try_step`](Self::try_step).
+    pub fn try_step_block(&mut self, arrivals: &[f64], dt: f64) -> Result<f64, QsimError> {
+        check_positive_param("dt", dt)?;
+        for &a in arrivals {
+            if !(a >= 0.0 && a.is_finite()) {
+                return Err(NumericError::OutOfRange {
+                    what: "arrival",
+                    value: a,
+                    lo: 0.0,
+                    hi: f64::INFINITY,
+                }
+                .into());
+            }
+        }
+        Ok(self.step_block(arrivals, dt))
+    }
+
+    /// Buffer size in bytes (the `Q` of the Q-C plane).
+    pub fn buffer_bytes(&self) -> f64 {
+        self.buffer_bytes
+    }
+
+    /// Service capacity in bytes per second (the `C` of the Q-C plane).
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
     /// Current backlog in bytes.
     pub fn backlog(&self) -> f64 {
         self.backlog
@@ -180,6 +211,90 @@ impl FluidQueue {
     /// Maximum queueing delay `Q/C` in seconds.
     pub fn max_delay(&self) -> f64 {
         self.buffer_bytes / self.capacity_bps
+    }
+
+    /// Captures the queue's dynamic state for a checkpoint. The static
+    /// parameters (`Q`, `C`) are deliberately *not* included — the
+    /// restore target is rebuilt from configuration and guarded by the
+    /// snapshot's parameter hash.
+    pub fn export_state(&self) -> QueueState {
+        QueueState {
+            backlog: self.backlog,
+            arrived: self.arrived,
+            lost: self.lost,
+            served: self.served,
+        }
+    }
+
+    /// Grafts a previously exported state onto this queue so stepping
+    /// resumes bit-identically. Every field is validated *before* any
+    /// mutation: all four totals must be finite and non-negative, the
+    /// backlog must fit the buffer, and the conservation law
+    /// `arrived = served + lost + backlog` must hold to fluid-balance
+    /// tolerance. A hostile or mismatched state is a typed error and
+    /// leaves the queue untouched.
+    pub fn restore_state(&mut self, st: &QueueState) -> Result<(), SnapshotError> {
+        let fields = [
+            ("backlog", st.backlog),
+            ("arrived", st.arrived),
+            ("lost", st.lost),
+            ("served", st.served),
+        ];
+        for (name, v) in fields {
+            if !(v.is_finite() && v >= 0.0) {
+                return Err(SnapshotError::Invalid { what: name });
+            }
+        }
+        if st.backlog > self.buffer_bytes {
+            return Err(SnapshotError::Invalid { what: "backlog exceeds buffer" });
+        }
+        let balance = st.served + st.lost + st.backlog;
+        if (st.arrived - balance).abs() > 1e-6 * st.arrived.max(1.0) {
+            return Err(SnapshotError::Invalid { what: "queue conservation law" });
+        }
+        self.backlog = st.backlog;
+        self.arrived = st.arrived;
+        self.lost = st.lost;
+        self.served = st.served;
+        Ok(())
+    }
+}
+
+/// The dynamic state of a [`FluidQueue`] — everything `step` mutates,
+/// nothing it only reads. Serialized via the vbr-stats snapshot codec;
+/// `f64`s round-trip as raw IEEE-754 bits so a restored queue is
+/// bit-identical to the original.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueueState {
+    /// Queue content in bytes.
+    pub backlog: f64,
+    /// Total bytes offered.
+    pub arrived: f64,
+    /// Total bytes lost.
+    pub lost: f64,
+    /// Total bytes served.
+    pub served: f64,
+}
+
+impl QueueState {
+    /// Appends the state to a snapshot section payload.
+    pub fn encode(&self, p: &mut Payload) {
+        p.put_f64(self.backlog);
+        p.put_f64(self.arrived);
+        p.put_f64(self.lost);
+        p.put_f64(self.served);
+    }
+
+    /// Reads a state back from a snapshot section, in [`encode`]
+    /// (Self::encode) order. Structural decode only — semantic
+    /// validation happens in [`FluidQueue::restore_state`].
+    pub fn decode(s: &mut Section) -> Result<Self, SnapshotError> {
+        Ok(QueueState {
+            backlog: s.get_f64()?,
+            arrived: s.get_f64()?,
+            lost: s.get_f64()?,
+            served: s.get_f64()?,
+        })
     }
 }
 
@@ -322,6 +437,83 @@ mod tests {
         let l3 = run(80_000.0);
         assert!(l1 >= l2 && l2 >= l3, "{l1} {l2} {l3}");
         assert!(l1 > 0.0);
+    }
+
+    #[test]
+    fn try_step_block_rejects_without_mutating() {
+        let mut q = FluidQueue::new(100.0, 1000.0);
+        q.step(5.0, 0.001);
+        let before = q.export_state();
+        assert!(q.try_step_block(&[1.0, f64::NAN, 2.0], 0.001).is_err());
+        assert!(q.try_step_block(&[1.0, -3.0], 0.001).is_err());
+        assert!(q.try_step_block(&[1.0], -1.0).is_err());
+        assert_eq!(q.export_state(), before, "rejected block must not mutate");
+        // A clean block matches the infallible path bit-for-bit.
+        let mut reference = FluidQueue::new(100.0, 1000.0);
+        reference.step(5.0, 0.001);
+        let want = reference.step_block(&[1.0, 2.0, 400.0], 0.001);
+        let got = q.try_step_block(&[1.0, 2.0, 400.0], 0.001).unwrap();
+        assert_eq!(got.to_bits(), want.to_bits());
+        assert_eq!(q.export_state(), reference.export_state());
+    }
+
+    #[test]
+    fn state_round_trip_resumes_bit_identically() {
+        let arrivals: Vec<f64> = (0..500)
+            .map(|i| ((i as f64 * 0.73).cos().abs() * 90.0) + if i % 17 == 0 { 300.0 } else { 0.0 })
+            .collect();
+        let mut full = FluidQueue::new(120.0, 50_000.0);
+        for &a in &arrivals {
+            full.step(a, 0.001);
+        }
+        // Kill at slot 173, restore into a fresh same-config queue.
+        let mut left = FluidQueue::new(120.0, 50_000.0);
+        for &a in &arrivals[..173] {
+            left.step(a, 0.001);
+        }
+        let st = left.export_state();
+        let mut resumed = FluidQueue::new(120.0, 50_000.0);
+        resumed.restore_state(&st).unwrap();
+        for &a in &arrivals[173..] {
+            resumed.step(a, 0.001);
+        }
+        assert_eq!(resumed.backlog().to_bits(), full.backlog().to_bits());
+        assert_eq!(resumed.arrived().to_bits(), full.arrived().to_bits());
+        assert_eq!(resumed.lost().to_bits(), full.lost().to_bits());
+        assert_eq!(resumed.served().to_bits(), full.served().to_bits());
+    }
+
+    #[test]
+    fn restore_rejects_hostile_states() {
+        let mut q = FluidQueue::new(100.0, 1000.0);
+        let good = QueueState { backlog: 10.0, arrived: 30.0, lost: 5.0, served: 15.0 };
+        assert!(q.restore_state(&good).is_ok());
+        for bad in [
+            QueueState { backlog: f64::NAN, ..good.clone() },
+            QueueState { backlog: -1.0, arrived: 30.0, lost: 5.0, served: 26.0 },
+            QueueState { backlog: 150.0, arrived: 170.0, lost: 5.0, served: 15.0 },
+            QueueState { arrived: f64::INFINITY, ..good.clone() },
+            // Books that don't balance: arrived ≠ served + lost + backlog.
+            QueueState { backlog: 10.0, arrived: 99.0, lost: 5.0, served: 15.0 },
+        ] {
+            assert!(q.restore_state(&bad).is_err(), "accepted {bad:?}");
+            // Failed restore must leave the previous state intact.
+            assert_eq!(q.export_state(), good);
+        }
+    }
+
+    #[test]
+    fn queue_state_codec_round_trip() {
+        use vbr_stats::snapshot::{SnapshotReader, SnapshotWriter};
+        let st = QueueState { backlog: 1.25, arrived: 1e12, lost: 0.0, served: 999999998.75 };
+        let mut w = SnapshotWriter::new(0xABCD, 7);
+        w.section(0x51, |p| st.encode(p));
+        let bytes = w.finish();
+        let mut r = SnapshotReader::open(&bytes).unwrap();
+        let mut s = r.section(0x51, "queue").unwrap();
+        let got = QueueState::decode(&mut s).unwrap();
+        s.finish().unwrap();
+        assert_eq!(got, st);
     }
 
     #[test]

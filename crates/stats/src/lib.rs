@@ -33,6 +33,7 @@ pub mod periodogram;
 pub mod regression;
 pub mod rng;
 pub mod simd;
+pub mod snapshot;
 pub mod special;
 
 pub use acf::{autocorrelation, autocovariance};
@@ -46,6 +47,7 @@ pub use par::{num_threads, par_map, par_map_with, with_threads};
 pub use periodogram::Periodogram;
 pub use regression::{fit_line, fit_loglog, LineFit};
 pub use rng::Xoshiro256;
+pub use snapshot::{ParamHasher, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use special::{
     digamma, erf, erfc, gamma_p, gamma_q, ln_gamma, norm_cdf, norm_pdf, norm_quantile,
     norm_quantile_slice,

@@ -86,11 +86,20 @@ pub enum Counter {
     MuxRuns,
     /// Q–C sweeps: capacity bisection probes (queue runs) executed.
     QcProbes,
+    /// Checkpoint store: snapshots durably written (tmp + rename).
+    CheckpointWrites,
+    /// Checkpoint store: runs resumed from a restored snapshot.
+    CheckpointResumes,
+    /// Checkpoint store: degradations — a snapshot was missing or
+    /// corrupt and the run fell back to an older generation or a cold
+    /// start. This is the alarm counter of the degradation ladder
+    /// (DESIGN.md §13): it must stay 0 on a healthy deployment.
+    CheckpointFallbacks,
 }
 
 impl Counter {
     /// All counters, in declaration order (the reporting order).
-    pub const ALL: [Counter; 15] = [
+    pub const ALL: [Counter; 18] = [
         Counter::FftPlanHit,
         Counter::FftPlanMiss,
         Counter::FftPlanEvict,
@@ -106,6 +115,9 @@ impl Counter {
         Counter::QueueOverflowSlots,
         Counter::MuxRuns,
         Counter::QcProbes,
+        Counter::CheckpointWrites,
+        Counter::CheckpointResumes,
+        Counter::CheckpointFallbacks,
     ];
 
     /// Stable snake-case name used in reports and JSON.
@@ -126,6 +138,9 @@ impl Counter {
             Counter::QueueOverflowSlots => "queue_overflow_slots",
             Counter::MuxRuns => "mux_runs",
             Counter::QcProbes => "qc_probes",
+            Counter::CheckpointWrites => "checkpoint_writes",
+            Counter::CheckpointResumes => "checkpoint_resumes",
+            Counter::CheckpointFallbacks => "checkpoint_fallbacks",
         }
     }
 }
@@ -156,6 +171,18 @@ pub fn counter_value(c: Counter) -> u64 {
         _ => 0,
     };
     local + upstream
+}
+
+/// Raises a counter to at least `target` (no-op if it is already
+/// there). Restore path only: a process resuming from a checkpoint
+/// re-establishes the interrupted run's counter totals so that the
+/// resumed run's final counters match an uninterrupted run's. Counters
+/// stay monotone — this can only add, never subtract.
+pub fn counter_restore(c: Counter, target: u64) {
+    let current = counter_value(c);
+    if target > current {
+        counter_add(c, target - current);
+    }
 }
 
 /// Snapshot of every counter as `(name, value)` in declaration order.
