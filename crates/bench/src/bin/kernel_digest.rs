@@ -1,15 +1,18 @@
 //! Prints a bit-level digest of every vectorised kernel's output on a
 //! fixed workload, one `name digest` line per kernel.
 //!
-//! This is the cross-flag portability gate: the kernels are written as
-//! fixed-lane chunk loops with no runtime CPU dispatch, so their output
-//! must be bit-identical whatever `-C target-cpu` the crate was built
-//! with. CI builds this binary twice — default flags and
-//! `target-cpu=native` — and diffs the output; any difference means a
-//! kernel's arithmetic order leaked a build-flag dependence.
+//! This is the cross-flag *and* cross-width portability gate: the
+//! kernels are width-generic chunk loops dispatched once per process
+//! (see DESIGN.md §14), written so the chunk width cannot change output
+//! bits. CI builds this binary under default flags and
+//! `target-cpu=native`, runs each build at every forced width
+//! (`VBR_SIMD_WIDTH=2/4/8`) plus auto-detect, and diffs all outputs;
+//! any difference means a kernel's arithmetic order leaked a build-flag
+//! or lane-width dependence. The output deliberately contains no
+//! width/feature banner — every line must be invariant.
 
-use vbr_fft::{plan_for, Complex, Direction};
-use vbr_fgn::{DaviesHarte, MarginalTransform, TableMode};
+use vbr_fft::{plan_for, real_plan_for, Complex, Direction};
+use vbr_fgn::{BatchFgn, DaviesHarte, MarginalTransform, TableMode};
 use vbr_qsim::FluidQueue;
 use vbr_stats::dist::GammaPareto;
 use vbr_stats::rng::Xoshiro256;
@@ -78,6 +81,45 @@ fn main() {
         }
     }
     println!("fft_radix4 {}", d.hex());
+
+    // Half-size-complex real FFT: forward, Hermitian synthesis, and the
+    // normalised inverse round trip, even and odd log2 n.
+    let mut d = Digest::new();
+    let mut spectrum = Vec::new();
+    let mut scratch = Vec::new();
+    let mut out = Vec::new();
+    for logn in [12u32, 13] {
+        let m = 1usize << logn;
+        let plan = real_plan_for(m);
+        plan.forward(&normals[..m], &mut spectrum, &mut scratch);
+        for z in &spectrum {
+            d.push(z.re.to_bits());
+            d.push(z.im.to_bits());
+        }
+        plan.synthesize_hermitian(&spectrum, &mut out, &mut scratch);
+        d.push_f64s(&out);
+        plan.inverse(&spectrum, &mut out, &mut scratch);
+        d.push_f64s(&out);
+    }
+    println!("real_fft {}", d.hex());
+
+    // Shared-spectrum batch generation: 3 sources' draws plus one
+    // mid-stream export/restore into a fresh batch.
+    let mut batch = BatchFgn::try_new(0.8, 1.0, 512, &[5, 6, 7]).expect("valid params");
+    let mut d = Digest::new();
+    let mut block = vec![0.0f64; 512];
+    for _ in 0..3 {
+        for src in 0..3 {
+            batch.next_block(src, &mut block);
+            d.push_f64s(&block);
+        }
+    }
+    let saved = batch.export_state(1);
+    let mut resumed = BatchFgn::try_new(0.8, 1.0, 512, &[5, 6, 7]).expect("valid params");
+    resumed.restore_state(1, &saved).expect("own export restores");
+    resumed.next_block(1, &mut block);
+    d.push_f64s(&block);
+    println!("batch_fgn {}", d.hex());
 
     // Gamma/Pareto marginal transform through the blocked table kernel,
     // fed by the batched Davies-Harte generator (whole pipeline bits).

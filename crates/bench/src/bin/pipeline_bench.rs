@@ -9,6 +9,15 @@
 //!   `--out` is given. The determinism checks always run; any divergence
 //!   between serial and parallel output exits nonzero.
 //!
+//! `--best-of <n>` runs the whole suite `n` times and keeps the
+//! per-entry minimum (see [`PerfReport::merge_min`]) — use it when
+//! regenerating the checked-in reference so the file records floors.
+//! `--check-against <report.json>` compares this run's per-group summed
+//! secs against the reference and exits nonzero on any regression past
+//! the tolerance recorded in the file; on a miss the suite re-runs (up
+//! to 3 passes total) and the gate judges the merged floor, so timing
+//! noise cannot fail the job but a real slowdown still does.
+//!
 //! Observability flags:
 //!
 //! - **`--trace-json <path>`**: install the [`vbr_stats::obs`] span
@@ -33,10 +42,12 @@ use std::process::ExitCode;
 use std::time::Instant;
 
 use vbr_bench::checkpoint::{CheckpointStore, PipelineState, TraceDigest};
-use vbr_bench::perf::{rustc_version, time_median, PerfReport};
+use vbr_bench::perf::{
+    check_against, rustc_version, time_median, PerfReport, REGRESSION_TOLERANCE,
+};
 use vbr_bench::{Corruption, FaultInjector};
 use vbr_fft::{fft_pow2_in_place, reference_radix2, Complex, Direction, FftPlan};
-use vbr_fgn::{DaviesHarte, FgnStream, MarginalTransform, TableMode};
+use vbr_fgn::{BatchFgn, DaviesHarte, FgnStream, MarginalTransform, TableMode};
 use vbr_lrd::{
     robust_hurst, whittle_objective_direct, SpectralModel, WhittleObjective,
 };
@@ -90,12 +101,31 @@ impl Sizes {
     }
 }
 
+/// One pass over every benchmark tier. `--best-of` and the regression
+/// gate's retry loop fold several passes into one report with
+/// [`PerfReport::merge_min`], so checked-in references and gate runs
+/// both measure per-entry floors rather than single noisy samples.
+fn run_suite(sizes: &Sizes) -> PerfReport {
+    let mut report = PerfReport::new();
+    bench_kernels(sizes, &mut report);
+    bench_kernels_simd(sizes, &mut report);
+    bench_kernels_wide(sizes, &mut report);
+    bench_estimators(sizes, &mut report);
+    bench_simulation(sizes, &mut report);
+    bench_streaming(sizes, &mut report);
+    bench_batch_fgn(sizes, &mut report);
+    bench_checkpoint(sizes, &mut report);
+    report
+}
+
 fn main() -> ExitCode {
     let mut test_mode = false;
     let mut obs_check = false;
     let mut ckpt_check = false;
     let mut out: Option<PathBuf> = None;
     let mut trace_out: Option<PathBuf> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut best_of: usize = 1;
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -106,10 +136,22 @@ fn main() -> ExitCode {
             "--trace-json" => {
                 trace_out = Some(PathBuf::from(args.next().expect("--trace-json needs a path")))
             }
+            "--check-against" => {
+                check = Some(PathBuf::from(args.next().expect("--check-against needs a path")))
+            }
+            "--best-of" => {
+                best_of = args
+                    .next()
+                    .expect("--best-of needs a count")
+                    .parse()
+                    .expect("--best-of needs a positive integer");
+                assert!(best_of >= 1, "--best-of needs a positive integer");
+            }
             other => {
                 eprintln!("unknown argument: {other}");
                 eprintln!(
-                    "usage: pipeline_bench [--test] [--out <path>] [--trace-json <path>] \
+                    "usage: pipeline_bench [--test] [--out <path>] [--best-of <n>] \
+                     [--trace-json <path>] [--check-against <report.json>] \
                      [--obs-check] [--ckpt-check]"
                 );
                 return ExitCode::from(2);
@@ -140,17 +182,72 @@ fn main() -> ExitCode {
     }
     println!("determinism: parallel output bit-identical to serial (threads 1/2/{threads})");
 
-    let mut report = PerfReport::new();
-    bench_kernels(&sizes, &mut report);
-    bench_kernels_simd(&sizes, &mut report);
-    bench_estimators(&sizes, &mut report);
-    bench_simulation(&sizes, &mut report);
-    bench_streaming(&sizes, &mut report);
-    bench_checkpoint(&sizes, &mut report);
+    let mut report = run_suite(&sizes);
+    for _ in 1..best_of {
+        report.merge_min(&run_suite(&sizes));
+    }
     report.print_summary();
 
+    if let Some(cpath) = &check {
+        // The comparison is absolute wall-clock per group, so it is only
+        // meaningful when this run uses the same mode (sizes/reps) and
+        // host class as the run that produced the reference file — CI
+        // runs the gate in full mode against the checked-in full-mode
+        // report. The reference records per-entry minima (--best-of), so
+        // a single noisy sample here must not fail the job: on a miss
+        // the whole suite re-runs (up to `GATE_MAX_RUNS` passes total)
+        // and the gate compares the merged per-entry floor. Noise-driven
+        // misses vanish under the min; a real regression raises the
+        // floor itself and fails every pass.
+        const GATE_MAX_RUNS: usize = 3;
+        let old = match std::fs::read_to_string(cpath) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {}: {e}", cpath.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        println!(
+            "regression gate vs {} (budget {:.0}% per group):",
+            cpath.display(),
+            (REGRESSION_TOLERANCE - 1.0) * 100.0
+        );
+        let mut runs = best_of;
+        let lines = loop {
+            match check_against(&old, report.entries(), REGRESSION_TOLERANCE) {
+                Ok(lines) => break lines,
+                Err(fails) if runs < GATE_MAX_RUNS => {
+                    println!("  over budget after {runs} run(s); re-measuring:");
+                    for l in &fails {
+                        println!("    {l}");
+                    }
+                    runs += 1;
+                    report.merge_min(&run_suite(&sizes));
+                }
+                Err(fails) => {
+                    for l in fails {
+                        eprintln!("  {l}");
+                    }
+                    eprintln!("FAIL: benchmark regression gate (min of {runs} run(s))");
+                    return ExitCode::FAILURE;
+                }
+            }
+        };
+        for l in lines {
+            println!("  {l}");
+        }
+    }
+
+    let explicit_out = out.is_some();
     let path = out.unwrap_or_else(|| PathBuf::from("BENCH_pipeline.json"));
-    if !test_mode || path.as_os_str() != "BENCH_pipeline.json" {
+    // Check mode never clobbers the reference it just compared against;
+    // an explicit --out still records the run.
+    let write_report = if check.is_some() {
+        explicit_out
+    } else {
+        !test_mode || path.as_os_str() != "BENCH_pipeline.json"
+    };
+    if write_report {
         match report.write(&path, threads, &rustc_version()) {
             Ok(()) => println!("wrote {}", path.display()),
             Err(e) => {
@@ -245,10 +342,8 @@ fn stream_with_checkpoints(n: usize, every: u64, store: Option<&CheckpointStore>
         let take = (n as u64 - done).min(buf.len() as u64) as usize;
         xform.map_block_from(&mut src, &mut buf[..take]);
         digest.update(&buf[..take]);
-        for &a in &buf[..take] {
-            total_bytes += a;
-            q.step(a, dt);
-        }
+        total_bytes += vbr_stats::simd::sum_sequential(&buf[..take]);
+        q.step_block(&buf[..take], dt);
         done += take as u64;
         if done >= next_ckpt {
             let state = PipelineState {
@@ -812,6 +907,134 @@ fn bench_kernels_simd(sizes: &Sizes, report: &mut PerfReport) {
 }
 
 // ---------------------------------------------------------------------------
+// Width-dispatch tier: the process-wide chunk width (vbr_fft::lanes)
+// against the narrowest 2-lane monomorphisation of the same kernels, and
+// the half-size-complex real FFT against the full-complex Hermitian
+// synthesis it replaced. Outputs are bit-identical across all of these
+// by construction (see DESIGN.md §14); only the wall clock differs.
+// ---------------------------------------------------------------------------
+
+fn bench_kernels_wide(sizes: &Sizes, report: &mut PerfReport) {
+    let n = sizes.stream_n;
+    let width = vbr_stats::simd::lanes();
+    let wnote = if width == 2 {
+        "detected width is 2, so both sides run the same code".to_string()
+    } else {
+        format!("dispatched width is {width}")
+    };
+
+    // AS241 quantile kernel: forced 2-lane chunks vs the dispatched width.
+    let mut rng = Xoshiro256::seed_from_u64(21);
+    let uniforms: Vec<f64> = (0..n).map(|_| rng.open01()).collect();
+    let mut buf = vec![0.0f64; n];
+    let t_w2 = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&uniforms);
+        vbr_stats::special::norm_quantile_slice_w::<2>(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    let t_disp = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&uniforms);
+        vbr_stats::norm_quantile_slice(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    report.record_vs(
+        "kernels_wide",
+        "norm_quantile_w2_vs_dispatched",
+        t_w2,
+        t_disp,
+        (1, sizes.reps),
+        &format!("{n} AS241 quantiles; baseline pins 2-lane chunks, {wnote}"),
+    );
+
+    // Arrival aggregation: the multiplexer's convert+add kernel.
+    let src: Vec<u32> = (0..n).map(|i| (i as u32).wrapping_mul(2_654_435_761)).collect();
+    let t_w2 = time_median(1, sizes.reps, || {
+        buf.iter_mut().for_each(|x| *x = 0.0);
+        vbr_stats::simd::accumulate_u32_w::<2>(&mut buf, &src);
+        std::hint::black_box(buf[n - 1]);
+    });
+    let t_disp = time_median(1, sizes.reps, || {
+        buf.iter_mut().for_each(|x| *x = 0.0);
+        vbr_stats::simd::accumulate_u32(&mut buf, &src);
+        std::hint::black_box(buf[n - 1]);
+    });
+    report.record_vs(
+        "kernels_wide",
+        "accumulate_u32_w2_vs_dispatched",
+        t_w2,
+        t_disp,
+        (1, sizes.reps),
+        &format!("{n} convert+add lanes; baseline pins 2-lane chunks, {wnote}"),
+    );
+
+    // Marginal slope-table map.
+    let target = GammaPareto::from_params(27_791.0, 6_254.0, 9.0);
+    let xform = MarginalTransform::new(&target, 0.0, 1.0, TableMode::Table(10_000));
+    let mut rng = Xoshiro256::seed_from_u64(22);
+    let gauss: Vec<f64> = (0..n).map(|_| rng.standard_normal()).collect();
+    let t_w2 = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&gauss);
+        xform.map_table_inplace_w::<2>(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    let t_disp = time_median(1, sizes.reps, || {
+        buf.copy_from_slice(&gauss);
+        xform.map_inplace(&mut buf);
+        std::hint::black_box(buf[n - 1]);
+    });
+    report.record_vs(
+        "kernels_wide",
+        "marginal_table_w2_vs_dispatched",
+        t_w2,
+        t_disp,
+        (1, sizes.reps),
+        &format!("{n} slope-table lookups; baseline pins 2-lane chunks, {wnote}"),
+    );
+
+    // Hermitian synthesis — the Davies–Harte hot path: full-length
+    // complex FFT over the mirrored spectrum (the pre-real-FFT code)
+    // vs the half-size-complex RealFftPlan kernel.
+    let fft_n = sizes.fft_n;
+    let half = fft_n / 2;
+    let mut rng = Xoshiro256::seed_from_u64(23);
+    let mut half_spec: Vec<Complex> = (0..=half)
+        .map(|_| Complex::new(rng.standard_normal(), rng.standard_normal()))
+        .collect();
+    half_spec[0] = Complex::from_re(half_spec[0].re);
+    half_spec[half] = Complex::from_re(half_spec[half].re);
+    let plan = vbr_fft::real_plan_for(fft_n);
+    let mut full = vec![Complex::ZERO; fft_n];
+    let mut out = Vec::new();
+    let mut scratch = Vec::new();
+    let t_full = time_median(1, sizes.reps, || {
+        full[..=half].copy_from_slice(&half_spec);
+        for k in 1..half {
+            full[fft_n - k] = half_spec[k].conj();
+        }
+        fft_pow2_in_place(&mut full, Direction::Forward);
+        out.clear();
+        out.extend(full.iter().map(|c| c.re));
+        std::hint::black_box(out[fft_n - 1]);
+    });
+    let t_half = time_median(1, sizes.reps, || {
+        plan.synthesize_hermitian(&half_spec, &mut out, &mut scratch);
+        std::hint::black_box(out[fft_n - 1]);
+    });
+    report.record_vs(
+        "kernels_wide",
+        "hermitian_synthesis_full_complex_vs_half",
+        t_full,
+        t_half,
+        (1, sizes.reps),
+        &format!(
+            "n={fft_n} real samples from a Hermitian half-spectrum; baseline mirrors the \
+             spectrum and runs a full-length complex FFT, new path folds into one \
+             half-length transform (the Davies-Harte synthesis kernel)"
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
 // Estimators tier
 // ---------------------------------------------------------------------------
 
@@ -1083,9 +1306,7 @@ fn bench_streaming(sizes: &Sizes, report: &mut PerfReport) {
         while left > 0 {
             let take = left.min(buf.len());
             xform.map_block_from(&mut src, &mut buf[..take]);
-            for &a in &buf[..take] {
-                q.step(a, dt);
-            }
+            q.step_block(&buf[..take], dt);
             left -= take;
         }
         std::hint::black_box(q.loss_rate());
@@ -1099,6 +1320,86 @@ fn bench_streaming(sizes: &Sizes, report: &mut PerfReport) {
         &format!(
             "one-shot generate -> transform -> queue, n={n}, fresh (H, n) per call; stream \
              peak live state is one {block}-sample block + one {chunk}-sample chunk"
+        ),
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Batch-generation tier: B independent FgnStreams vs one BatchFgn over a
+// shared spectrum. Draw sequences are bit-identical source for source
+// (asserted below); what the batch buys is one circulant spectrum + one
+// FFT plan + one scratch window for the whole fleet instead of per
+// stream, which shows up as construction time and resident memory, not
+// per-sample throughput.
+// ---------------------------------------------------------------------------
+
+fn bench_batch_fgn(sizes: &Sizes, report: &mut PerfReport) {
+    let n_sources = 16usize;
+    let block = 1usize << 12;
+    let per_source = (sizes.stream_n / n_sources).max(block);
+    let rounds = per_source / block;
+    let seeds: Vec<u64> = (0..n_sources as u64).map(|i| 100 + i).collect();
+    let reps = sizes.reps.max(7);
+
+    // One-time bit-identity assertion so the timing below is provably
+    // comparing equal work: batch source i == independent stream i.
+    {
+        let mut batch = BatchFgn::try_new(0.8, 1.0, block, &seeds).expect("valid params");
+        let mut a = vec![0.0f64; block];
+        let mut b = vec![0.0f64; block];
+        for (i, &seed) in seeds.iter().enumerate() {
+            let mut solo = FgnStream::new(0.8, 1.0, block, seed);
+            batch.next_block(i, &mut a);
+            solo.next_block(&mut b);
+            assert_eq!(a, b, "batch source {i} diverged from its independent stream");
+        }
+    }
+
+    // Fresh H per call so both sides pay spectrum construction — the
+    // scenario batching exists for (spinning up a multiplexer's worth of
+    // sources), not re-sampling a cached model.
+    let mut h_step = 0u64;
+    let mut fresh_h = move || {
+        h_step += 1;
+        0.8 + h_step as f64 * 1e-9
+    };
+    let mut buf = vec![0.0f64; block];
+    let t_independent = time_median(1, reps, || {
+        let h = fresh_h();
+        let mut streams: Vec<FgnStream> =
+            seeds.iter().map(|&s| FgnStream::new(h, 1.0, block, s)).collect();
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            for s in streams.iter_mut() {
+                s.next_block(&mut buf);
+                acc += buf[block - 1];
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    let t_batch = time_median(1, reps, || {
+        let h = fresh_h();
+        let mut batch = BatchFgn::try_new(h, 1.0, block, &seeds).expect("valid params");
+        let mut acc = 0.0;
+        for _ in 0..rounds {
+            for i in 0..n_sources {
+                batch.next_block(i, &mut buf);
+                acc += buf[block - 1];
+            }
+        }
+        std::hint::black_box(acc);
+    });
+    report.record_vs(
+        "batch_fgn",
+        "independent_streams_vs_batch",
+        t_independent,
+        t_batch,
+        (1, reps),
+        &format!(
+            "{n_sources} sources x {per_source} samples, fresh H per call, draws \
+             bit-identical source for source; baseline holds {n_sources} FgnStreams \
+             (spectrum Arc-shared via cache, per-stream scratch), batch shares one \
+             spectrum + one scratch window"
         ),
     );
 }

@@ -213,10 +213,11 @@ fn main() -> ExitCode {
         let take = (slices as u64 - done).min(buf.len() as u64) as usize;
         xform.map_block_from(&mut src, &mut buf[..take]);
         digest.update(&buf[..take]);
-        for &a in &buf[..take] {
-            total_bytes += a;
-            q.step(a, dt);
-        }
+        // Bit-identical to the per-sample loop this replaces:
+        // sum_sequential keeps strict left-to-right accumulation, and
+        // step_block runs the same clamp recurrence over the chunk.
+        total_bytes += vbr_stats::simd::sum_sequential(&buf[..take]);
+        q.step_block(&buf[..take], dt);
         done += take as u64;
         if done >= next_ckpt {
             let state = PipelineState {

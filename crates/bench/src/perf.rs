@@ -12,6 +12,15 @@ use std::fmt::Write as _;
 use std::io;
 use std::path::Path;
 use std::time::Instant;
+use vbr_stats::obs::CounterSnapshot;
+
+/// Allowed per-group slowdown before [`check_against`] fails: new group
+/// total ≤ old × 1.15. Documented in the emitted JSON (schema v4) so
+/// the checked-in report carries its own gate contract. 15% rides above
+/// shared-CI noise (observed ≤ ~10% run-to-run) while still catching
+/// any real regression of the kind this gate exists for (an accidental
+/// de-vectorization or algorithmic slip is ≥ 30%).
+pub const REGRESSION_TOLERANCE: f64 = 1.15;
 
 /// Times `f` for `reps` repetitions after `warmup` untimed runs and
 /// returns the median wall-clock seconds of a single run.
@@ -61,6 +70,12 @@ pub struct PerfEntry {
     pub reps: usize,
     /// Free-form description of the workload and what is compared.
     pub note: String,
+    /// Pipeline-counter activity attributed to this entry: the non-zero
+    /// increases of every [`vbr_stats::obs`] counter since the previous
+    /// `record*` call (so warmup + timed reps of *this* benchmark, not
+    /// the process lifetime). Captured automatically by
+    /// [`PerfReport::record`]/[`PerfReport::record_vs`].
+    pub metrics: Vec<(&'static str, u64)>,
 }
 
 impl PerfEntry {
@@ -71,15 +86,36 @@ impl PerfEntry {
 }
 
 /// The full report written as `BENCH_pipeline.json`.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct PerfReport {
     entries: Vec<PerfEntry>,
+    /// Counter state at the previous `record*` call (initially at
+    /// construction), so each entry gets the delta of *its* benchmark.
+    last_counters: CounterSnapshot,
+}
+
+impl Default for PerfReport {
+    fn default() -> Self {
+        PerfReport::new()
+    }
 }
 
 impl PerfReport {
-    /// Empty report.
+    /// Empty report. Counter attribution starts here: the first entry
+    /// recorded absorbs whatever ran between construction and that
+    /// `record*` call.
     pub fn new() -> Self {
-        PerfReport::default()
+        PerfReport { entries: Vec::new(), last_counters: CounterSnapshot::capture() }
+    }
+
+    /// Captures the counter delta since the previous record and
+    /// advances the attribution cursor.
+    fn take_metrics(&mut self) -> Vec<(&'static str, u64)> {
+        let now = CounterSnapshot::capture();
+        let delta: Vec<(&'static str, u64)> =
+            now.delta(&self.last_counters).into_iter().filter(|&(_, v)| v > 0).collect();
+        self.last_counters = now;
+        delta
     }
 
     /// Records a standalone timing measured over `(warmup, reps)` runs.
@@ -91,6 +127,7 @@ impl PerfReport {
         (warmup, reps): (usize, usize),
         note: &str,
     ) {
+        let metrics = self.take_metrics();
         self.entries.push(PerfEntry {
             group: group.to_string(),
             name: name.to_string(),
@@ -99,6 +136,7 @@ impl PerfReport {
             warmup,
             reps,
             note: note.to_string(),
+            metrics,
         });
     }
 
@@ -113,6 +151,7 @@ impl PerfReport {
         (warmup, reps): (usize, usize),
         note: &str,
     ) {
+        let metrics = self.take_metrics();
         self.entries.push(PerfEntry {
             group: group.to_string(),
             name: name.to_string(),
@@ -121,6 +160,7 @@ impl PerfReport {
             warmup,
             reps,
             note: note.to_string(),
+            metrics,
         });
     }
 
@@ -129,22 +169,72 @@ impl PerfReport {
         &self.entries
     }
 
+    /// Folds another run of the same suite into this report, keeping
+    /// the per-entry minimum of `secs` and `baseline_secs` (matched by
+    /// `(group, name)`; entries only present in `other` are appended).
+    ///
+    /// Medians of short benchmarks still carry host noise — frequency
+    /// boost state, a background daemon — that only ever *adds* time,
+    /// so the minimum over several runs is the stable statistic: it
+    /// converges on the true floor, while a real regression raises the
+    /// floor itself and survives any number of merges. Counter metrics
+    /// are kept from the first run that recorded the entry; the
+    /// pipelines are deterministic, so reruns produce identical deltas.
+    pub fn merge_min(&mut self, other: &PerfReport) {
+        for o in &other.entries {
+            match self.entries.iter_mut().find(|e| e.group == o.group && e.name == o.name) {
+                Some(e) => {
+                    e.secs = e.secs.min(o.secs);
+                    e.baseline_secs = match (e.baseline_secs, o.baseline_secs) {
+                        (Some(a), Some(b)) => Some(a.min(b)),
+                        (a, b) => a.or(b),
+                    };
+                }
+                None => self.entries.push(o.clone()),
+            }
+        }
+    }
+
     /// Serialises the report (plus host metadata) to pretty JSON.
     ///
     /// Schema v2 added the compiler version and, per entry, the
     /// iteration schedule (`warmup`/`reps`) the median was taken over —
     /// enough provenance to judge whether two checked-in reports are
-    /// comparable. Schema v3 adds a `metrics` section: every
+    /// comparable. Schema v3 added a `metrics` section: every
     /// [`vbr_stats::obs`] pipeline counter as observed at serialisation
     /// time, plus the process peak RSS, so a checked-in report also
     /// records *what the benchmark exercised* (cache hits, fallbacks,
-    /// overflow slots), not just how long it took.
+    /// overflow slots), not just how long it took. Schema v4 adds the
+    /// detected SIMD chunk width and CPU target features (entries are
+    /// only comparable across hosts when these match), the documented
+    /// regression tolerance the CI gate enforces (see
+    /// [`check_against`]), and per-entry `metrics`: each entry's own
+    /// counter deltas, so process-lifetime sums in the top-level block
+    /// can be attributed benchmark by benchmark.
     pub fn to_json(&self, host_threads: usize, rustc: &str) -> String {
         let mut s = String::new();
         s.push_str("{\n");
-        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v3\",");
+        let _ = writeln!(s, "  \"schema\": \"vbr-bench/pipeline/v4\",");
         let _ = writeln!(s, "  \"host_threads\": {host_threads},");
         let _ = writeln!(s, "  \"rustc\": {},", json_str(rustc));
+        let _ = writeln!(s, "  \"simd_width\": {},", vbr_stats::simd::lanes());
+        let _ = writeln!(
+            s,
+            "  \"target_features\": {},",
+            json_str(&vbr_stats::simd::target_features())
+        );
+        let _ = writeln!(s, "  \"regression_tolerance\": {REGRESSION_TOLERANCE},");
+        let _ = writeln!(
+            s,
+            "  \"regression_note\": {},",
+            json_str(
+                "CI gate: pipeline_bench --check-against fails if any group's \
+                 summed secs exceeds this file's by more than the tolerance \
+                 factor; both sides are per-entry minima over repeated runs \
+                 (--best-of / gate retries), so the comparison is floor vs \
+                 floor, not one noisy sample vs another"
+            )
+        );
         s.push_str("  \"metrics\": {\n");
         for (name, value) in vbr_stats::obs::counters() {
             let _ = writeln!(s, "    \"{name}\": {value},");
@@ -178,6 +268,14 @@ impl PerfReport {
             }
             let _ = writeln!(s, "      \"warmup\": {},", e.warmup);
             let _ = writeln!(s, "      \"reps\": {},", e.reps);
+            s.push_str("      \"metrics\": {");
+            for (j, (name, value)) in e.metrics.iter().enumerate() {
+                if j > 0 {
+                    s.push_str(", ");
+                }
+                let _ = write!(s, "\"{name}\": {value}");
+            }
+            s.push_str("},\n");
             let _ = writeln!(s, "      \"note\": {}", json_str(&e.note));
             s.push_str(if i + 1 == self.entries.len() { "    }\n" } else { "    },\n" });
         }
@@ -204,6 +302,92 @@ impl PerfReport {
                 .unwrap_or_else(|| "-".to_string());
             println!("{:<12} {:<42} {:>12.6} {:>12} {:>8}", e.group, e.name, e.secs, base, sp);
         }
+    }
+}
+
+/// Extracts the `(group, secs)` pair of every entry from a previously
+/// written report (hand-rolled line scan — the workspace has no serde;
+/// the emitter in [`PerfReport::to_json`] pins the line shapes this
+/// reads). `baseline_secs` lines do not match the `"secs"` prefix, so
+/// only measured times are collected.
+pub fn parse_group_secs(json: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    let mut in_entries = false;
+    let mut group: Option<String> = None;
+    for line in json.lines() {
+        let t = line.trim();
+        if t.starts_with("\"entries\"") {
+            in_entries = true;
+            continue;
+        }
+        if !in_entries {
+            continue;
+        }
+        if let Some(rest) = t.strip_prefix("\"group\": \"") {
+            group = rest.strip_suffix("\",").map(|s| s.to_string());
+        } else if let Some(rest) = t.strip_prefix("\"secs\": ") {
+            if let Some(g) = group.take() {
+                if let Ok(v) = rest.trim_end_matches(',').parse::<f64>() {
+                    out.push((g, v));
+                }
+            }
+        }
+    }
+    out
+}
+
+/// The CI bench regression gate: compares this run's entries against a
+/// checked-in report, group by group. For every group present in both,
+/// the new summed `secs` must not exceed the old sum by more than
+/// `tolerance` (a factor, e.g. [`REGRESSION_TOLERANCE`] = 1.15 → 15%
+/// slowdown budget). A group present in the old report but absent from
+/// this run also fails — silently dropping a benchmark must not pass
+/// the gate. New groups (absent from the old report) are allowed; they
+/// become gated once the report is regenerated.
+///
+/// Returns the per-group comparison lines on success, or the failure
+/// lines (regressed / missing groups) on failure.
+pub fn check_against(
+    old_json: &str,
+    entries: &[PerfEntry],
+    tolerance: f64,
+) -> Result<Vec<String>, Vec<String>> {
+    use std::collections::BTreeMap;
+    let mut old: BTreeMap<String, f64> = BTreeMap::new();
+    for (g, secs) in parse_group_secs(old_json) {
+        *old.entry(g).or_insert(0.0) += secs;
+    }
+    let mut new: BTreeMap<&str, f64> = BTreeMap::new();
+    for e in entries {
+        *new.entry(&e.group).or_insert(0.0) += e.secs;
+    }
+    let mut report = Vec::new();
+    let mut failures = Vec::new();
+    for (g, &old_sum) in &old {
+        match new.get(g.as_str()) {
+            None => failures.push(format!("group '{g}' in baseline report but not in this run")),
+            Some(&new_sum) => {
+                let ratio = new_sum / old_sum;
+                let line = format!(
+                    "group '{g}': {new_sum:.6}s vs baseline {old_sum:.6}s ({ratio:.3}x, budget {tolerance:.2}x)"
+                );
+                if new_sum > old_sum * tolerance {
+                    failures.push(format!("REGRESSION {line}"));
+                } else {
+                    report.push(line);
+                }
+            }
+        }
+    }
+    for g in new.keys() {
+        if !old.contains_key(*g) {
+            report.push(format!("group '{g}': new (no baseline, not gated)"));
+        }
+    }
+    if failures.is_empty() {
+        Ok(report)
+    } else {
+        Err(failures)
     }
 }
 
@@ -256,7 +440,10 @@ mod tests {
         r.record("kernels", "fft", 0.5, (1, 3), "plain");
         r.record_vs("estimators", "whittle", 1.0, 0.25, (2, 5), "note \"quoted\"");
         let j = r.to_json(4, "rustc 1.99.0 (test)");
-        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v3\""));
+        assert!(j.contains("\"schema\": \"vbr-bench/pipeline/v4\""));
+        assert!(j.contains("\"simd_width\": "));
+        assert!(j.contains("\"target_features\": "));
+        assert!(j.contains("\"regression_tolerance\": 1.15"));
         assert!(j.contains("\"metrics\": {"));
         assert!(j.contains("\"fft_plan_hit\":"));
         assert!(j.contains("\"fgn_cache_evict\":"));
@@ -288,7 +475,77 @@ mod tests {
             warmup: 1,
             reps: 3,
             note: String::new(),
+            metrics: Vec::new(),
         };
         assert_eq!(e.speedup(), Some(4.0));
+    }
+
+    /// Round-trips a report through `to_json` → `parse_group_secs` and
+    /// exercises the gate: pass within tolerance, fail beyond it, fail
+    /// on a dropped group, ignore brand-new groups.
+    #[test]
+    fn check_against_gate() {
+        let mut old = PerfReport::new();
+        old.record("kernels", "a", 1.0, (1, 3), "");
+        old.record("kernels", "b", 1.0, (1, 3), "");
+        old.record_vs("streaming", "s", 4.0, 2.0, (1, 3), "baseline_secs must not be summed");
+        let old_json = old.to_json(4, "rustc test");
+
+        let parsed = parse_group_secs(&old_json);
+        assert_eq!(parsed.len(), 3, "one (group, secs) per entry: {parsed:?}");
+        assert!(parsed.contains(&("streaming".to_string(), 2.0)));
+
+        // Same groups, slightly faster → pass, with one line per group.
+        let mut ok = PerfReport::new();
+        ok.record("kernels", "a", 0.9, (1, 3), "");
+        ok.record("kernels", "b", 1.0, (1, 3), "");
+        ok.record("streaming", "s", 2.1, (1, 3), "");
+        ok.record("brand_new", "x", 99.0, (1, 3), "");
+        let lines = check_against(&old_json, ok.entries(), REGRESSION_TOLERANCE).unwrap();
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().any(|l| l.contains("brand_new") && l.contains("not gated")));
+
+        // kernels regresses past 15% → fail and name the group.
+        let mut slow = PerfReport::new();
+        slow.record("kernels", "a", 1.5, (1, 3), "");
+        slow.record("kernels", "b", 1.0, (1, 3), "");
+        slow.record("streaming", "s", 2.0, (1, 3), "");
+        let fails = check_against(&old_json, slow.entries(), REGRESSION_TOLERANCE).unwrap_err();
+        assert_eq!(fails.len(), 1);
+        assert!(fails[0].contains("REGRESSION") && fails[0].contains("kernels"));
+
+        // Dropping a benchmarked group entirely must not pass the gate.
+        let mut dropped = PerfReport::new();
+        dropped.record("kernels", "a", 0.1, (1, 3), "");
+        let fails = check_against(&old_json, dropped.entries(), REGRESSION_TOLERANCE).unwrap_err();
+        assert!(fails.iter().any(|l| l.contains("streaming") && l.contains("not in this run")));
+    }
+
+    /// `merge_min` keeps the fastest observation per `(group, name)` on
+    /// both sides of a comparison, and appends entries it has not seen.
+    #[test]
+    fn merge_min_keeps_fastest() {
+        let mut a = PerfReport::new();
+        a.record_vs("kernels", "fft", 2.0, 1.0, (1, 3), "");
+        a.record("streaming", "gen", 5.0, (1, 3), "");
+
+        let mut b = PerfReport::new();
+        b.record_vs("kernels", "fft", 1.8, 1.2, (1, 3), "");
+        b.record("streaming", "gen", 4.0, (1, 3), "");
+        b.record("brand_new", "x", 9.0, (1, 3), "");
+
+        a.merge_min(&b);
+        let fft = &a.entries()[0];
+        assert_eq!(fft.secs, 1.0, "kept the faster measured side");
+        assert_eq!(fft.baseline_secs, Some(1.8), "kept the faster baseline side");
+        assert_eq!(a.entries()[1].secs, 4.0);
+        assert_eq!(a.entries()[2].name, "x", "unseen entry appended");
+
+        // Merging is idempotent at the floor: a third, slower run
+        // changes nothing.
+        let mut c = PerfReport::new();
+        c.record_vs("kernels", "fft", 3.0, 2.0, (1, 3), "");
+        a.merge_min(&c);
+        assert_eq!(a.entries()[0].secs, 1.0);
     }
 }

@@ -28,6 +28,7 @@ pub mod convolve;
 pub mod plan;
 pub mod radix2;
 pub mod real;
+pub mod width;
 
 pub use bluestein::{bluestein_plan_for, fft_any, fft_any_in_place, BluesteinPlan};
 pub use complex::Complex;
@@ -39,7 +40,9 @@ pub use plan::{
 pub use radix2::{fft_pow2_in_place, is_pow2, next_pow2, Direction};
 pub use real::{
     fft_real, fft_real_into, ifft_real, ifft_real_into, power_spectrum, power_spectrum_into,
+    real_plan_for, RealFftPlan,
 };
+pub use width::{lanes, target_features, MAX_LANES};
 
 /// Forward DFT of a complex sequence (any length, unnormalised).
 ///

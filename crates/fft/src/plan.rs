@@ -12,9 +12,11 @@
 //!
 //! Twiddle factors live in split re/im (structure-of-arrays) tables so
 //! the butterfly loop reads contiguous `f64` lanes instead of
-//! interleaved pairs — the shape LLVM autovectorizes with plain 4-lane
-//! chunk loops and **no** runtime CPU dispatch, keeping results
-//! bit-identical across hosts (see `vbr_stats::simd` and DESIGN.md §11).
+//! interleaved pairs — the shape LLVM autovectorizes from plain chunked
+//! loops at the process-wide dispatch width ([`crate::width::lanes`]).
+//! Each butterfly is per-`j` math independent of chunk boundaries, so
+//! the width choice cannot change an output bit and results stay
+//! bit-identical across hosts (see DESIGN.md §11 and §14).
 //! Each twiddle is evaluated *directly* from `sin`/`cos` (never by
 //! repeated multiplication), so the worst-case twiddle error is one ulp
 //! regardless of `n`.
@@ -154,12 +156,20 @@ impl FftPlan {
             }
         }
 
+        // One width decision per transform; the butterfly math is
+        // per-j, so the chunk width only changes the unroll shape,
+        // never an output bit (DESIGN.md §14).
+        let lanes = crate::width::lanes();
         let mut base = 0usize;
         while len <= n {
             let quarter = len / 4;
             let stage_re = &self.tw_re[base..base + 3 * quarter];
             let stage_im = &self.tw_im[base..base + 3 * quarter];
-            radix4_stage::<FWD>(data, len, stage_re, stage_im);
+            match lanes {
+                2 => radix4_stage::<FWD, 2>(data, len, stage_re, stage_im),
+                8 => radix4_stage::<FWD, 8>(data, len, stage_re, stage_im),
+                _ => radix4_stage::<FWD, 4>(data, len, stage_re, stage_im),
+            }
             base += 3 * quarter;
             len <<= 2;
         }
@@ -193,10 +203,16 @@ fn first_radix4_span(n: usize) -> usize {
 ///
 /// The inverse additionally conjugates the twiddles. Every output lane
 /// depends only on its own `j`, so results are independent of how the
-/// loop is chunked (the determinism contract for all kernels in this
-/// workspace).
+/// loop is chunked — which is exactly why the `W`-chunked unroll below
+/// (the process-wide dispatch width) cannot change an output bit (the
+/// determinism contract for all kernels in this workspace).
 #[inline]
-fn radix4_stage<const FWD: bool>(data: &mut [Complex], len: usize, w_re: &[f64], w_im: &[f64]) {
+fn radix4_stage<const FWD: bool, const W: usize>(
+    data: &mut [Complex],
+    len: usize,
+    w_re: &[f64],
+    w_im: &[f64],
+) {
     let quarter = len / 4;
     let (w1re, rest) = w_re.split_at(quarter);
     let (w2re, w3re) = rest.split_at(quarter);
@@ -207,43 +223,76 @@ fn radix4_stage<const FWD: bool>(data: &mut [Complex], len: usize, w_re: &[f64],
         let (q0, rest) = chunk.split_at_mut(quarter);
         let (q1, rest) = rest.split_at_mut(quarter);
         let (q2, q3) = rest.split_at_mut(quarter);
-        for j in 0..quarter {
-            let a = q0[j];
-            let b = q1[j];
-            let c = q2[j];
-            let d = q3[j];
-            let (i1, i2, i3) = if FWD {
-                (w1im[j], w2im[j], w3im[j])
-            } else {
-                (-w1im[j], -w2im[j], -w3im[j])
-            };
-            let (r1, r2, r3) = (w1re[j], w2re[j], w3re[j]);
-            // W²ʲ·B, Wʲ·C, W³ʲ·D in split re/im form.
-            let tb_re = b.re * r2 - b.im * i2;
-            let tb_im = b.re * i2 + b.im * r2;
-            let tc_re = c.re * r1 - c.im * i1;
-            let tc_im = c.re * i1 + c.im * r1;
-            let td_re = d.re * r3 - d.im * i3;
-            let td_im = d.re * i3 + d.im * r3;
-            let s0_re = a.re + tb_re;
-            let s0_im = a.im + tb_im;
-            let s1_re = a.re - tb_re;
-            let s1_im = a.im - tb_im;
-            let s2_re = tc_re + td_re;
-            let s2_im = tc_im + td_im;
-            let s3_re = tc_re - td_re;
-            let s3_im = tc_im - td_im;
-            q0[j] = Complex::new(s0_re + s2_re, s0_im + s2_im);
-            q2[j] = Complex::new(s0_re - s2_re, s0_im - s2_im);
-            if FWD {
-                // ∓i rotation: s1 − i·s3 and s1 + i·s3.
-                q1[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
-                q3[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
-            } else {
-                q1[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
-                q3[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
+        // W independent butterflies per iteration; LLVM vectorizes the
+        // straight-line lane bodies at the dispatched width.
+        let main = quarter - quarter % W;
+        let mut j = 0;
+        while j < main {
+            for l in 0..W {
+                radix4_butterfly::<FWD>(
+                    q0, q1, q2, q3, w1re, w1im, w2re, w2im, w3re, w3im,
+                    j + l,
+                );
             }
+            j += W;
         }
+        for j in main..quarter {
+            radix4_butterfly::<FWD>(q0, q1, q2, q3, w1re, w1im, w2re, w2im, w3re, w3im, j);
+        }
+    }
+}
+
+/// One radix-4 butterfly at index `j` — the single source of butterfly
+/// arithmetic for every width (see [`radix4_stage`]).
+#[expect(clippy::too_many_arguments, reason = "split-borrow SoA hot path")]
+#[inline(always)]
+fn radix4_butterfly<const FWD: bool>(
+    q0: &mut [Complex],
+    q1: &mut [Complex],
+    q2: &mut [Complex],
+    q3: &mut [Complex],
+    w1re: &[f64],
+    w1im: &[f64],
+    w2re: &[f64],
+    w2im: &[f64],
+    w3re: &[f64],
+    w3im: &[f64],
+    j: usize,
+) {
+    let a = q0[j];
+    let b = q1[j];
+    let c = q2[j];
+    let d = q3[j];
+    let (i1, i2, i3) = if FWD {
+        (w1im[j], w2im[j], w3im[j])
+    } else {
+        (-w1im[j], -w2im[j], -w3im[j])
+    };
+    let (r1, r2, r3) = (w1re[j], w2re[j], w3re[j]);
+    // W²ʲ·B, Wʲ·C, W³ʲ·D in split re/im form.
+    let tb_re = b.re * r2 - b.im * i2;
+    let tb_im = b.re * i2 + b.im * r2;
+    let tc_re = c.re * r1 - c.im * i1;
+    let tc_im = c.re * i1 + c.im * r1;
+    let td_re = d.re * r3 - d.im * i3;
+    let td_im = d.re * i3 + d.im * r3;
+    let s0_re = a.re + tb_re;
+    let s0_im = a.im + tb_im;
+    let s1_re = a.re - tb_re;
+    let s1_im = a.im - tb_im;
+    let s2_re = tc_re + td_re;
+    let s2_im = tc_im + td_im;
+    let s3_re = tc_re - td_re;
+    let s3_im = tc_im - td_im;
+    q0[j] = Complex::new(s0_re + s2_re, s0_im + s2_im);
+    q2[j] = Complex::new(s0_re - s2_re, s0_im - s2_im);
+    if FWD {
+        // ∓i rotation: s1 − i·s3 and s1 + i·s3.
+        q1[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
+        q3[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
+    } else {
+        q1[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
+        q3[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
     }
 }
 

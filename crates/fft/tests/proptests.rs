@@ -115,6 +115,114 @@ proptest! {
     }
 
     #[test]
+    fn real_forward_matches_complex_fft(
+        logn in 1u32..13,
+        raw in prop::collection::vec(-100.0f64..100.0, 1usize << 12),
+    ) {
+        // The half-size-complex forward transform against the full
+        // complex FFT of the same (complexified) signal, every
+        // power-of-two size the plan serves: ≤ 1e-12 of the spectrum
+        // scale on all n/2 + 1 half-spectrum bins.
+        let n = 1usize << logn;
+        let x: Vec<f64> = raw.into_iter().take(n).collect();
+        let plan = vbr_fft::real_plan_for(n);
+        let (mut spectrum, mut scratch) = (Vec::new(), Vec::new());
+        plan.forward(&x, &mut spectrum, &mut scratch);
+        let full: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let want = fft(&full);
+        let scale = want.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        prop_assert_eq!(spectrum.len(), n / 2 + 1);
+        for (k, (a, b)) in spectrum.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (*a - *b).abs() <= 1e-12 * scale,
+                "n={} bin {}: {:?} vs {:?}", n, k, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn real_forward_inverse_round_trips(
+        logn in 1u32..13,
+        raw in prop::collection::vec(-100.0f64..100.0, 1usize << 12),
+    ) {
+        let n = 1usize << logn;
+        let x: Vec<f64> = raw.into_iter().take(n).collect();
+        let plan = vbr_fft::real_plan_for(n);
+        let (mut spectrum, mut scratch, mut back) = (Vec::new(), Vec::new(), Vec::new());
+        plan.forward(&x, &mut spectrum, &mut scratch);
+        plan.inverse(&spectrum, &mut back, &mut scratch);
+        let scale = x.iter().fold(1.0f64, |m, v| m.max(v.abs()));
+        for (t, (a, b)) in x.iter().zip(&back).enumerate() {
+            prop_assert!((a - b).abs() <= 1e-12 * scale, "n={} sample {}", n, t);
+        }
+    }
+
+    #[test]
+    fn synthesize_hermitian_matches_full_complex(
+        logn in 1u32..13,
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), (1usize << 11) + 1),
+    ) {
+        // The Davies–Harte synthesis kernel: a random Hermitian
+        // half-spectrum synthesized through the half-size transform must
+        // match the real part of the full-length complex FFT over the
+        // mirrored spectrum (the path it replaced) to ≤ 1e-12 of scale.
+        let n = 1usize << logn;
+        let half = n / 2;
+        let mut hs: Vec<Complex> = raw
+            .into_iter()
+            .take(half + 1)
+            .map(|(re, im)| Complex::new(re, im))
+            .collect();
+        hs[0] = Complex::from_re(hs[0].re);
+        hs[half] = Complex::from_re(hs[half].re);
+        let plan = vbr_fft::real_plan_for(n);
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        plan.synthesize_hermitian(&hs, &mut out, &mut scratch);
+        let mut full = vec![Complex::ZERO; n];
+        full[..=half].copy_from_slice(&hs);
+        for k in 1..half {
+            full[n - k] = hs[k].conj();
+        }
+        let want = fft(&full);
+        let scale = want.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (t, (a, b)) in out.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (a - b.re).abs() <= 1e-12 * scale,
+                "n={} sample {}: {} vs {:?}", n, t, a, b
+            );
+            // The mirrored spectrum is exactly Hermitian, so the full
+            // transform's imaginary leakage bounds its own rounding.
+            prop_assert!(b.im.abs() <= 1e-9 * scale);
+        }
+    }
+
+    #[test]
+    fn odd_length_real_input_through_bluestein(
+        x in prop::collection::vec(-100.0f64..100.0, 3..41),
+    ) {
+        // Adversarial odd-layout case: a real signal at a length the
+        // half-complex plan cannot serve (odd n routes fft_any through
+        // the Bluestein chirp transform). The spectrum must still be
+        // Hermitian and match the direct DFT — guarding the layout
+        // assumptions shared with the real-FFT untwist tables.
+        let n = x.len() - (1 - x.len() % 2); // force odd by dropping a sample
+        let x = &x[..n];
+        let z: Vec<Complex> = x.iter().map(|&v| Complex::from_re(v)).collect();
+        let got = vbr_fft::fft_any(&z, Direction::Forward);
+        let scale = got.iter().map(|c| c.abs()).fold(1.0f64, f64::max);
+        for k in 0..n {
+            let mirrored = got[(n - k) % n].conj();
+            prop_assert!((got[k] - mirrored).abs() <= 1e-7 * scale, "hermitian bin {}", k);
+            let mut direct = Complex::ZERO;
+            for (t, &v) in x.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * t % n) as f64 / n as f64;
+                direct += Complex::cis(ang).scale(v);
+            }
+            prop_assert!((got[k] - direct).abs() <= 1e-7 * scale, "dft bin {}", k);
+        }
+    }
+
+    #[test]
     fn fft_any_agrees_with_direction_inverse(x in complex_vec(40)) {
         // fft_any(Inverse) is the unnormalised adjoint: applying it to the
         // forward transform and dividing by n must recover the signal.

@@ -1,0 +1,464 @@
+//! Shared-spectrum batch generation: B independent fGn/fARIMA sources
+//! driven by ONE circulant spectrum, one real-FFT plan, and one
+//! synthesis scratch.
+//!
+//! Large-scale simulation (the paper's Sec. V traces, and the mux
+//! experiments that superpose tens of sources) needs many *independent*
+//! sources with *identical* second-order statistics. Building B
+//! [`crate::FgnStream`]s duplicates everything that is per-model rather
+//! than per-source: the circulant spectrum (`m` floats each), the FFT
+//! plan lookups, and the synthesis scratch. [`BatchStream`] keeps one
+//! copy of each and a tiny [`SourceState`](crate::stream) per source, so
+//! the marginal cost of another source is `O(block + overlap)` floats
+//! of state plus its RNG — not another spectrum.
+//!
+//! ## Bit-identity contract
+//!
+//! Each source owns its RNG (seeded independently) and its window/seam
+//! buffers; only *stateless* scratch is shared. A source's refill reads
+//! and writes nothing outside its own state and the shared scratch it
+//! fully overwrites, so draws from a batched source are **bit-identical
+//! to the same-seed independent stream, draw for draw**, at any block /
+//! overlap geometry and any interleaving of `next_block` calls across
+//! sources. Proptests in `crates/fgn/tests/proptests.rs` pin this.
+//!
+//! ```
+//! use vbr_fgn::{BatchFgn, FgnStream};
+//! let mut batch = BatchFgn::try_new(0.8, 1.0, 64, &[1, 2, 3]).unwrap();
+//! let mut solo = FgnStream::new(0.8, 1.0, 64, 2);
+//! let mut a = vec![0.0; 100];
+//! let mut b = vec![0.0; 100];
+//! batch.next_block(1, &mut a); // source index 1 == seed 2
+//! solo.next_block(&mut b);
+//! assert_eq!(a, b);
+//! ```
+
+use crate::cache::{farima_circulant_spectrum_cached, fgn_circulant_spectrum_cached};
+use crate::error::FgnError;
+use crate::stream::{
+    check_geometry, next_block_source, prefix_exact_geometry, SourceState, StreamState,
+    WindowScratch,
+};
+use std::sync::Arc;
+use vbr_fft::next_pow2;
+use vbr_stats::rng::Xoshiro256;
+use vbr_stats::snapshot::SnapshotError;
+
+/// The shared-spectrum engine: B circulant sources over one spectrum.
+///
+/// Construction mirrors [`crate::CirculantStream`]'s geometry exactly;
+/// use [`BatchFgn`] / [`BatchFarima`] for validated model-level entry
+/// points.
+#[derive(Debug, Clone)]
+pub struct BatchStream {
+    sd: f64,
+    block: usize,
+    overlap: usize,
+    /// `None` is the degenerate `block == 1` white-noise path, exactly
+    /// as in [`crate::CirculantStream`].
+    spectrum: Option<Arc<Vec<f64>>>,
+    sources: Vec<SourceState>,
+    /// One synthesis workspace for the whole batch — fully overwritten
+    /// by every refill, so sharing it cannot couple sources.
+    scratch: WindowScratch,
+}
+
+impl BatchStream {
+    fn from_spectrum(
+        spectrum: Option<Arc<Vec<f64>>>,
+        sd: f64,
+        block: usize,
+        overlap: usize,
+        seeds: &[u64],
+    ) -> Self {
+        if let Some(lambda) = &spectrum {
+            debug_assert!(lambda.len() / 2 + 1 >= block + overlap);
+        }
+        let sources = seeds
+            .iter()
+            .map(|&s| SourceState::new(Xoshiro256::seed_from_u64(s), block, overlap))
+            .collect();
+        BatchStream { sd, block, overlap, spectrum, sources, scratch: WindowScratch::default() }
+    }
+
+    /// Number of sources in the batch.
+    pub fn sources(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Emitted samples per window (per source).
+    pub fn block(&self) -> usize {
+        self.block
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.overlap
+    }
+
+    /// Circulant transform length per window (`0` on the white-noise
+    /// path). This is the batch's *total* spectrum footprint — shared,
+    /// not per source.
+    pub fn circulant_len(&self) -> usize {
+        self.spectrum.as_ref().map_or(0, |l| l.len())
+    }
+
+    /// Fills `out` with the next `out.len()` samples of source
+    /// `source`. Sources advance independently: interleaving calls
+    /// across sources in any order yields the same per-source draw
+    /// sequences. Panics if `source ≥ self.sources()`.
+    pub fn next_block(&mut self, source: usize, out: &mut [f64]) {
+        next_block_source(
+            self.spectrum.as_deref().map(|l| &l[..]),
+            self.sd,
+            self.block,
+            self.overlap,
+            &mut self.sources[source],
+            &mut self.scratch,
+            out,
+        );
+    }
+
+    /// Fills each `outs[i]` with the next `outs[i].len()` samples of
+    /// source `i`. `outs.len()` must equal [`sources`](Self::sources).
+    pub fn next_blocks(&mut self, outs: &mut [&mut [f64]]) {
+        assert_eq!(outs.len(), self.sources.len(), "one output slice per source");
+        for (i, out) in outs.iter_mut().enumerate() {
+            self.next_block(i, out);
+        }
+    }
+
+    /// Exports the dynamic state of one source for checkpointing —
+    /// interchangeable with [`crate::FgnStream::export_state`] for the
+    /// same-seed independent stream. Panics if `source` is out of
+    /// range.
+    pub fn export_state(&self, source: usize) -> StreamState {
+        self.sources[source].export()
+    }
+
+    /// Restores one source from an exported state, with the same full
+    /// structural validation as [`crate::CirculantStream`] (nothing is
+    /// mutated on error). Panics if `source` is out of range.
+    pub fn restore_state(&mut self, source: usize, st: &StreamState) -> Result<(), SnapshotError> {
+        self.sources[source].restore(st, self.block, self.overlap, self.spectrum.is_none())
+    }
+}
+
+/// B independent prefix-exact fGn sources over one shared circulant
+/// spectrum; see the [module docs](self) for the memory/bit-identity
+/// contract.
+#[derive(Debug, Clone)]
+pub struct BatchFgn(BatchStream);
+
+impl BatchFgn {
+    /// Prefix-exact batch: source `i`'s draws are bit-identical to
+    /// `FgnStream::new(hurst, variance, block, seeds[i])`.
+    pub fn try_new(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, None, seeds)
+    }
+
+    /// Batch with a caller-chosen seam overlap, matching
+    /// `FgnStream::with_overlap` source for source.
+    pub fn try_with_overlap(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: usize,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, Some(overlap), seeds)
+    }
+
+    fn build(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        if !(hurst > 0.0 && hurst < 1.0) {
+            return Err(FgnError::InvalidHurst { hurst, lo: 0.0, hi: 1.0 });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(FgnError::InvalidVariance { variance });
+        }
+        check_geometry(block, overlap.unwrap_or(0))?;
+        let sd = variance.sqrt();
+        if block == 1 {
+            return Ok(BatchFgn(BatchStream::from_spectrum(None, sd, 1, 0, seeds)));
+        }
+        let (m, l) = match overlap {
+            None => prefix_exact_geometry(block),
+            Some(l) => (next_pow2(2 * (block + l - 1)).max(2), l),
+        };
+        let lambda = fgn_circulant_spectrum_cached(hurst, m)?;
+        Ok(BatchFgn(BatchStream::from_spectrum(Some(lambda), sd, block, l, seeds)))
+    }
+
+    /// Number of sources in the batch.
+    pub fn sources(&self) -> usize {
+        self.0.sources()
+    }
+
+    /// Emitted samples per window (per source).
+    pub fn block(&self) -> usize {
+        self.0.block()
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.0.overlap()
+    }
+
+    /// Shared circulant transform length (`0` on the white-noise path).
+    pub fn circulant_len(&self) -> usize {
+        self.0.circulant_len()
+    }
+
+    /// Next `out.len()` samples of source `source`; see
+    /// [`BatchStream::next_block`].
+    pub fn next_block(&mut self, source: usize, out: &mut [f64]) {
+        self.0.next_block(source, out);
+    }
+
+    /// One chunk per source; see [`BatchStream::next_blocks`].
+    pub fn next_blocks(&mut self, outs: &mut [&mut [f64]]) {
+        self.0.next_blocks(outs);
+    }
+
+    /// Per-source checkpoint export; see [`BatchStream::export_state`].
+    pub fn export_state(&self, source: usize) -> StreamState {
+        self.0.export_state(source)
+    }
+
+    /// Per-source checkpoint restore; see
+    /// [`BatchStream::restore_state`].
+    pub fn restore_state(&mut self, source: usize, st: &StreamState) -> Result<(), SnapshotError> {
+        self.0.restore_state(source, st)
+    }
+}
+
+/// B independent fARIMA(0, d, 0) sources over one shared circulant
+/// spectrum — the batch counterpart of [`crate::FarimaStream`], with
+/// the same `H ∈ [0.5, 1)` domain and fallible embedding.
+#[derive(Debug, Clone)]
+pub struct BatchFarima(BatchStream);
+
+impl BatchFarima {
+    /// Prefix-exact batch: source `i`'s draws are bit-identical to
+    /// `FarimaStream::try_new(hurst, variance, block, seeds[i])`.
+    pub fn try_new(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, None, seeds)
+    }
+
+    /// Batch with a caller-chosen seam overlap.
+    pub fn try_with_overlap(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: usize,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, Some(overlap), seeds)
+    }
+
+    fn build(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+        seeds: &[u64],
+    ) -> Result<Self, FgnError> {
+        if !(0.5..1.0).contains(&hurst) {
+            return Err(FgnError::InvalidHurst { hurst, lo: 0.5, hi: 1.0 });
+        }
+        if !(variance > 0.0 && variance.is_finite()) {
+            return Err(FgnError::InvalidVariance { variance });
+        }
+        check_geometry(block, overlap.unwrap_or(0))?;
+        let d = crate::acvf::hurst_to_d(hurst);
+        let sd = variance.sqrt();
+        if block == 1 {
+            return Ok(BatchFarima(BatchStream::from_spectrum(None, sd, 1, 0, seeds)));
+        }
+        let (m, l) = match overlap {
+            None => prefix_exact_geometry(block),
+            Some(l) => (next_pow2(2 * (block + l - 1)).max(2), l),
+        };
+        let lambda = farima_circulant_spectrum_cached(d, m)?;
+        Ok(BatchFarima(BatchStream::from_spectrum(Some(lambda), sd, block, l, seeds)))
+    }
+
+    /// Number of sources in the batch.
+    pub fn sources(&self) -> usize {
+        self.0.sources()
+    }
+
+    /// Emitted samples per window (per source).
+    pub fn block(&self) -> usize {
+        self.0.block()
+    }
+
+    /// Samples cross-faded at each window seam.
+    pub fn overlap(&self) -> usize {
+        self.0.overlap()
+    }
+
+    /// Shared circulant transform length (`0` on the white-noise path).
+    pub fn circulant_len(&self) -> usize {
+        self.0.circulant_len()
+    }
+
+    /// Next `out.len()` samples of source `source`.
+    pub fn next_block(&mut self, source: usize, out: &mut [f64]) {
+        self.0.next_block(source, out);
+    }
+
+    /// One chunk per source; see [`BatchStream::next_blocks`].
+    pub fn next_blocks(&mut self, outs: &mut [&mut [f64]]) {
+        self.0.next_blocks(outs);
+    }
+
+    /// Per-source checkpoint export.
+    pub fn export_state(&self, source: usize) -> StreamState {
+        self.0.export_state(source)
+    }
+
+    /// Per-source checkpoint restore.
+    pub fn restore_state(&mut self, source: usize, st: &StreamState) -> Result<(), SnapshotError> {
+        self.0.restore_state(source, st)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stream::{FarimaStream, FgnStream};
+
+    #[test]
+    fn batch_fgn_matches_independent_streams() {
+        let seeds = [11u64, 22, 33, 44];
+        let mut batch = BatchFgn::try_new(0.8, 2.5, 100, &seeds).unwrap();
+        assert_eq!(batch.sources(), 4);
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut solo = FgnStream::new(0.8, 2.5, 100, s);
+            let mut a = vec![0.0; 350];
+            let mut b = vec![0.0; 350];
+            batch.next_block(i, &mut a);
+            solo.next_block(&mut b);
+            assert_eq!(a, b, "source {i}");
+        }
+    }
+
+    #[test]
+    fn interleaving_sources_does_not_couple_them() {
+        let seeds = [5u64, 6];
+        let mut batch = BatchFgn::try_new(0.7, 1.0, 64, &seeds).unwrap();
+        // Drain source 0 far ahead, then source 1, then source 0 again.
+        let mut a = vec![0.0; 500];
+        let mut b = vec![0.0; 130];
+        let mut a2 = vec![0.0; 70];
+        batch.next_block(0, &mut a);
+        batch.next_block(1, &mut b);
+        batch.next_block(0, &mut a2);
+
+        let mut solo0 = FgnStream::new(0.7, 1.0, 64, 5);
+        let mut solo1 = FgnStream::new(0.7, 1.0, 64, 6);
+        let mut e = vec![0.0; 570];
+        let mut f = vec![0.0; 130];
+        solo0.next_block(&mut e);
+        solo1.next_block(&mut f);
+        assert_eq!(a, e[..500]);
+        assert_eq!(a2, e[500..]);
+        assert_eq!(b, f);
+    }
+
+    #[test]
+    fn batch_overlap_matches_with_overlap_streams() {
+        let seeds = [7u64, 8];
+        let mut batch = BatchFgn::try_with_overlap(0.85, 3.0, 50, 20, &seeds).unwrap();
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut solo = FgnStream::with_overlap(0.85, 3.0, 50, 20, s);
+            let mut a = vec![0.0; 160];
+            let mut b = vec![0.0; 160];
+            batch.next_block(i, &mut a);
+            solo.next_block(&mut b);
+            assert_eq!(a, b, "source {i}");
+        }
+    }
+
+    #[test]
+    fn batch_farima_matches_independent_streams() {
+        let seeds = [1u64, 2, 3];
+        let mut batch = BatchFarima::try_new(0.75, 1.5, 80, &seeds).unwrap();
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut solo = FarimaStream::try_new(0.75, 1.5, 80, s).unwrap();
+            let mut a = vec![0.0; 200];
+            let mut b = vec![0.0; 200];
+            batch.next_block(i, &mut a);
+            solo.next_block(&mut b);
+            assert_eq!(a, b, "source {i}");
+        }
+    }
+
+    #[test]
+    fn white_noise_path_block_one() {
+        let seeds = [42u64, 43];
+        let mut batch = BatchFgn::try_new(0.8, 4.0, 1, &seeds).unwrap();
+        assert_eq!(batch.circulant_len(), 0);
+        for (i, &s) in seeds.iter().enumerate() {
+            let mut solo = FgnStream::new(0.8, 4.0, 1, s);
+            let mut a = vec![0.0; 10];
+            let mut b = vec![0.0; 10];
+            batch.next_block(i, &mut a);
+            solo.next_block(&mut b);
+            assert_eq!(a, b, "source {i}");
+        }
+    }
+
+    #[test]
+    fn export_restore_round_trips_per_source() {
+        let seeds = [9u64, 10];
+        let mut batch = BatchFgn::try_new(0.8, 1.0, 64, &seeds).unwrap();
+        let mut warm = vec![0.0; 100];
+        batch.next_block(0, &mut warm);
+        batch.next_block(1, &mut warm);
+        let st0 = batch.export_state(0);
+        let mut expect = vec![0.0; 150];
+        batch.next_block(0, &mut expect);
+        // Restoring into a *fresh* batch must resume bit-identically.
+        let mut fresh = BatchFgn::try_new(0.8, 1.0, 64, &seeds).unwrap();
+        fresh.restore_state(0, &st0).unwrap();
+        let mut got = vec![0.0; 150];
+        fresh.next_block(0, &mut got);
+        assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn restore_rejects_bad_state() {
+        let mut batch = BatchFgn::try_new(0.8, 1.0, 64, &[1]).unwrap();
+        let mut warm = vec![0.0; 10];
+        batch.next_block(0, &mut warm);
+        let mut st = batch.export_state(0);
+        st.cur.push(0.0); // wrong window length
+        assert!(batch.restore_state(0, &st).is_err());
+    }
+
+    #[test]
+    fn invalid_params_rejected() {
+        assert!(BatchFgn::try_new(1.5, 1.0, 64, &[1]).is_err());
+        assert!(BatchFgn::try_new(0.8, -1.0, 64, &[1]).is_err());
+        assert!(BatchFgn::try_with_overlap(0.8, 1.0, 4, 9, &[1]).is_err());
+        assert!(BatchFarima::try_new(0.3, 1.0, 64, &[1]).is_err());
+    }
+}

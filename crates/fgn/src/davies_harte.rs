@@ -8,7 +8,7 @@
 //! covariance.
 
 use crate::error::FgnError;
-use vbr_fft::{fft_pow2_in_place, next_pow2, Complex, Direction};
+use vbr_fft::{fft_pow2_in_place, next_pow2, real_plan_for, Complex, Direction};
 use vbr_stats::rng::Xoshiro256;
 
 /// Relative tolerance below which a negative circulant eigenvalue is
@@ -164,53 +164,81 @@ fn synthesise_from_spectrum(
     sd: f64,
     rng: &mut Xoshiro256,
 ) -> Vec<f64> {
-    let mut w = Vec::new();
-    let mut gauss = Vec::new();
-    synthesise_from_spectrum_into(lambda, rng, &mut w, &mut gauss);
-    w.into_iter().take(n).map(|z| z.re * sd).collect()
+    let mut scratch = SynthScratch::new();
+    let mut out = Vec::new();
+    synthesise_real_into(lambda, rng, &mut scratch, &mut out);
+    out.truncate(n);
+    for x in &mut out {
+        *x *= sd;
+    }
+    out
 }
 
-/// Zero-allocation synthesis core: fills `w` (resized in place to the
-/// circulant length `m = lambda.len()`) with one Gaussian realisation of
-/// the circulant process. After the call `w[t].re` for `t < m/2 + 1` is
-/// an exact sample of the target stationary process (unit scale — the
-/// caller applies `sd`). Streaming callers reuse `w` across windows, so
-/// steady-state generation allocates nothing.
+/// Reusable workspace of the real synthesis core: the Hermitian
+/// half-spectrum (`m/2 + 1` complex bins) and the half-length complex
+/// FFT scratch. Streaming and batch callers keep one of these per
+/// stream (or one per *batch* — the whole point of the shared-scratch
+/// batch engine), so steady-state generation allocates nothing.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SynthScratch {
+    /// Half-spectrum `W[0..=m/2]` of the circulant draw.
+    half: Vec<Complex>,
+    /// Length-`m/2` workspace of [`vbr_fft::RealFftPlan`].
+    fft: Vec<Complex>,
+    /// Batch normal-draw scratch (`m` values per window).
+    gauss: Vec<f64>,
+}
+
+impl SynthScratch {
+    pub(crate) fn new() -> Self {
+        SynthScratch::default()
+    }
+}
+
+/// Zero-allocation synthesis core: fills `out` (resized in place to the
+/// circulant length `m = lambda.len()`) with one real Gaussian
+/// realisation of the circulant process, at unit scale (the caller
+/// applies `sd`). `out[t]` for `t < m/2 + 1` is an exact sample of the
+/// target stationary process.
 ///
 /// RNG draw order (DC, Nyquist, then conjugate pairs `k = 1..m/2`) is a
 /// compatibility contract: the block-streaming generator relies on it to
 /// stay bit-identical to the batch path on shared-seed prefixes. The
 /// `m` normals are drawn through the batch quantile kernel
-/// ([`Xoshiro256::fill_standard_normal`]) into the caller-reused
-/// `gauss` scratch — one u64 per variate in the contract order, so the
-/// sequence is bit-identical to per-sample draws.
-pub(crate) fn synthesise_from_spectrum_into(
+/// ([`Xoshiro256::fill_standard_normal`]) into the reused `gauss`
+/// scratch — one u64 per variate in the contract order, so the sequence
+/// is bit-identical to per-sample draws.
+///
+/// Only the half-spectrum `W[0..=m/2]` is ever materialised — the upper
+/// half is its conjugate mirror by construction — and the forward FFT of
+/// the Hermitian whole runs as **one** `m/2`-point complex transform
+/// through [`vbr_fft::RealFftPlan::synthesize_hermitian`]. That halves
+/// both the transform work and the complex workspace of the previous
+/// full-`m` complex path on the hottest loop of the pipeline.
+pub(crate) fn synthesise_real_into(
     lambda: &[f64],
     rng: &mut Xoshiro256,
-    w: &mut Vec<Complex>,
-    gauss: &mut Vec<f64>,
+    scratch: &mut SynthScratch,
+    out: &mut Vec<f64>,
 ) {
     let m = lambda.len();
     let half = m / 2;
-    // Synthesise W with E|W_k|² = λ_k/m and Hermitian symmetry so that
-    // the FFT comes out real with the target covariance.
-    w.clear();
-    w.resize(m, Complex::ZERO);
-    gauss.clear();
-    gauss.resize(m, 0.0);
-    rng.fill_standard_normal(gauss);
+    // Synthesise W with E|W_k|² = λ_k/m and (implicit) Hermitian
+    // symmetry so that the FFT comes out real with the target covariance.
+    scratch.half.clear();
+    scratch.half.resize(half + 1, Complex::ZERO);
+    scratch.gauss.clear();
+    scratch.gauss.resize(m, 0.0);
+    rng.fill_standard_normal(&mut scratch.gauss);
+    let gauss = &scratch.gauss;
     let mf = m as f64;
-    w[0] = Complex::from_re((lambda[0] / mf).sqrt() * gauss[0]);
-    w[half] = Complex::from_re((lambda[half] / mf).sqrt() * gauss[1]);
+    scratch.half[0] = Complex::from_re((lambda[0] / mf).sqrt() * gauss[0]);
+    scratch.half[half] = Complex::from_re((lambda[half] / mf).sqrt() * gauss[1]);
     for k in 1..half {
         let scale = (lambda[k] / (2.0 * mf)).sqrt();
-        let re = scale * gauss[2 * k];
-        let im = scale * gauss[2 * k + 1];
-        w[k] = Complex::new(re, im);
-        w[m - k] = Complex::new(re, -im);
+        scratch.half[k] = Complex::new(scale * gauss[2 * k], scale * gauss[2 * k + 1]);
     }
-
-    fft_pow2_in_place(w, Direction::Forward);
+    real_plan_for(m).synthesize_hermitian(&scratch.half, out, &mut scratch.fft);
 }
 
 /// Fractional Brownian motion path: the cumulative sum of fGn,

@@ -27,6 +27,7 @@
 
 pub mod acvf;
 pub mod arma;
+pub mod batch;
 pub mod cache;
 pub mod davies_harte;
 pub mod error;
@@ -41,6 +42,7 @@ pub use cache::{
     farima_acf_cached, farima_circulant_spectrum_cached, fgn_acvf_cached,
     fgn_circulant_spectrum_cached,
 };
+pub use batch::{BatchFarima, BatchFgn, BatchStream};
 pub use davies_harte::{circulant_spectrum, fbm_path, DaviesHarte};
 pub use error::FgnError;
 pub use hosking::Hosking;

@@ -202,10 +202,11 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     /// streaming pipeline: a Gaussian block becomes a traffic block
     /// without any intermediate vector.
     ///
-    /// Table mode runs the blocked 4-lane kernel; since each lane is the
-    /// same inlined [`map_table_one`](Self::map_table_one) the scalar
-    /// path uses, results are bit-identical to mapping one sample at a
-    /// time, for any block size.
+    /// Table mode runs the blocked width-dispatched kernel; since each
+    /// lane is the same inlined
+    /// [`map_table_one`](Self::map_table_one) the scalar path uses,
+    /// results are bit-identical to mapping one sample at a time, for
+    /// any block size and any chunk width.
     pub fn map_inplace(&self, xs: &mut [f64]) {
         match self.mode {
             TableMode::Exact => {
@@ -213,21 +214,30 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
                     *x = self.map_exact(*x);
                 }
             }
-            TableMode::Table(_) => {
-                let mut chunks = xs.chunks_exact_mut(vbr_stats::simd::LANES);
-                for c in &mut chunks {
-                    // Four independent table walks; the standardise +
-                    // fused-lerp arithmetic vectorizes, the (short,
-                    // grid-accelerated) index chase stays scalar.
-                    c[0] = self.map_table_one(c[0]);
-                    c[1] = self.map_table_one(c[1]);
-                    c[2] = self.map_table_one(c[2]);
-                    c[3] = self.map_table_one(c[3]);
-                }
-                for x in chunks.into_remainder() {
-                    *x = self.map_table_one(*x);
-                }
+            TableMode::Table(_) => match vbr_stats::simd::lanes() {
+                2 => self.map_table_inplace_w::<2>(xs),
+                8 => self.map_table_inplace_w::<8>(xs),
+                _ => self.map_table_inplace_w::<4>(xs),
+            },
+        }
+    }
+
+    /// Fixed-width table-mode body of [`map_inplace`](Self::map_inplace)
+    /// — public so `kernel_digest` and the width benches can pin a
+    /// width. Panics (debug) if the transform is not in table mode.
+    pub fn map_table_inplace_w<const W: usize>(&self, xs: &mut [f64]) {
+        debug_assert!(matches!(self.mode, TableMode::Table(_)));
+        let mut chunks = xs.chunks_exact_mut(W);
+        for c in &mut chunks {
+            // W independent table walks; the standardise + fused-lerp
+            // arithmetic vectorizes, the (short, grid-accelerated)
+            // index chase stays scalar.
+            for x in c.iter_mut() {
+                *x = self.map_table_one(*x);
             }
+        }
+        for x in chunks.into_remainder() {
+            *x = self.map_table_one(*x);
         }
     }
 

@@ -43,10 +43,10 @@
 //! far the seam error reaches.
 
 use crate::cache::{farima_circulant_spectrum_cached, fgn_circulant_spectrum_cached};
-use crate::davies_harte::synthesise_from_spectrum_into;
+use crate::davies_harte::{synthesise_real_into, SynthScratch};
 use crate::error::FgnError;
 use std::sync::Arc;
-use vbr_fft::{next_pow2, Complex};
+use vbr_fft::next_pow2;
 use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
 use vbr_stats::snapshot::{Payload, Section, SnapshotError};
@@ -62,7 +62,7 @@ pub trait BlockSource {
 }
 
 /// Validates a block/overlap pair (`block ≥ 1`, `overlap ≤ block`).
-fn check_geometry(block: usize, overlap: usize) -> Result<(), FgnError> {
+pub(crate) fn check_geometry(block: usize, overlap: usize) -> Result<(), FgnError> {
     if block == 0 {
         return Err(vbr_stats::error::NumericError::OutOfRange {
             what: "stream block size (must be >= 1)",
@@ -84,12 +84,181 @@ fn check_geometry(block: usize, overlap: usize) -> Result<(), FgnError> {
     Ok(())
 }
 
+/// Per-source dynamic state of a circulant stream: the RNG, the window
+/// being emitted, the seam tail, and the emit position. Everything that
+/// differs between two sources driven by the same spectrum lives here —
+/// the batch engine ([`crate::batch::BatchStream`]) holds one of these
+/// per source over a *shared* spectrum and scratch, which is what makes
+/// batched draws bit-identical to independent streams by construction.
+#[derive(Debug, Clone)]
+pub(crate) struct SourceState {
+    pub(crate) rng: Xoshiro256,
+    /// The `block` samples currently being emitted.
+    pub(crate) cur: Vec<f64>,
+    /// Exact tail of the previous window, cross-faded into the next.
+    pub(crate) tail: Vec<f64>,
+    pub(crate) pos: usize,
+    pub(crate) started: bool,
+}
+
+impl SourceState {
+    pub(crate) fn new(rng: Xoshiro256, block: usize, overlap: usize) -> Self {
+        SourceState {
+            rng,
+            cur: Vec::with_capacity(block),
+            tail: Vec::with_capacity(overlap),
+            pos: 0,
+            started: false,
+        }
+    }
+
+    /// Exports the dynamic state for checkpointing.
+    pub(crate) fn export(&self) -> StreamState {
+        StreamState {
+            rng: self.rng.state(),
+            cur: self.cur.clone(),
+            tail: self.tail.clone(),
+            pos: self.pos,
+            started: self.started,
+        }
+    }
+
+    /// Grafts an exported state onto this source after validating every
+    /// structural invariant against the owning stream's geometry
+    /// (`block`, `overlap`, and whether it is the white-noise path).
+    /// Nothing is mutated until everything checks out.
+    pub(crate) fn restore(
+        &mut self,
+        st: &StreamState,
+        block: usize,
+        overlap: usize,
+        white_noise: bool,
+    ) -> Result<(), SnapshotError> {
+        let rng = Xoshiro256::from_state(st.rng)
+            .ok_or(SnapshotError::Invalid { what: "all-zero rng state" })?;
+        if !(st.cur.is_empty() || st.cur.len() == block) {
+            return Err(SnapshotError::Invalid { what: "window length != stream block" });
+        }
+        if !(st.tail.is_empty() || st.tail.len() == overlap) {
+            return Err(SnapshotError::Invalid { what: "tail length != stream overlap" });
+        }
+        if st.pos > st.cur.len() {
+            return Err(SnapshotError::Invalid { what: "emit position past window end" });
+        }
+        if white_noise && (st.started || !st.tail.is_empty()) {
+            return Err(SnapshotError::Invalid { what: "seam state on a white-noise stream" });
+        }
+        if !white_noise && !st.started {
+            // `started` flips on the first circulant refill; the only
+            // pre-start state is the empty one. (White-noise streams
+            // never set it and were handled above.)
+            if !(st.cur.is_empty() && st.tail.is_empty() && st.pos == 0) {
+                return Err(SnapshotError::Invalid { what: "window present before first refill" });
+            }
+        }
+        if st.cur.iter().chain(st.tail.iter()).any(|v| !v.is_finite()) {
+            return Err(SnapshotError::Invalid { what: "non-finite sample in stream state" });
+        }
+        self.rng = rng;
+        self.cur.clear();
+        self.cur.extend_from_slice(&st.cur);
+        self.tail.clear();
+        self.tail.extend_from_slice(&st.tail);
+        self.pos = st.pos;
+        self.started = st.started;
+        Ok(())
+    }
+}
+
+/// Window-synthesis workspace shared across refills (and, in the batch
+/// engine, across *sources*): the real synthesis scratch plus the `m`
+/// real samples of the current circulant window.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct WindowScratch {
+    pub(crate) synth: SynthScratch,
+    /// The `m` real samples of the freshly synthesised window.
+    pub(crate) win: Vec<f64>,
+}
+
+/// Synthesises the next window of one source, cross-fading the seam.
+/// This is the engine step shared verbatim by [`CirculantStream`] and
+/// the batch engine — one source's refill depends only on its own
+/// [`SourceState`], so interleaving sources over a shared scratch
+/// cannot change any output bit.
+pub(crate) fn refill_source(
+    spectrum: Option<&[f64]>,
+    sd: f64,
+    block: usize,
+    overlap: usize,
+    st: &mut SourceState,
+    scratch: &mut WindowScratch,
+) {
+    let _span = obs::span("fgn.stream_refill");
+    obs::counter_add(Counter::StreamBlocks, 1);
+    st.pos = 0;
+    let Some(spectrum) = spectrum else {
+        // White-noise path: batch-draw the block through the
+        // vectorized quantile kernel, then scale. Per-element values
+        // are bit-identical to the old per-sample loop.
+        st.cur.clear();
+        st.cur.resize(block, 0.0);
+        st.rng.fill_standard_normal(&mut st.cur);
+        for x in &mut st.cur {
+            *x *= sd;
+        }
+        return;
+    };
+    synthesise_real_into(spectrum, &mut st.rng, &mut scratch.synth, &mut scratch.win);
+    let (b, l) = (block, overlap);
+    st.cur.clear();
+    st.cur.extend(scratch.win[..b].iter().map(|x| x * sd));
+    if st.started {
+        // Power-preserving cross-fade against the previous tail:
+        // weights sum to one in *variance*, so the N(0, σ²) marginal
+        // is preserved exactly at every blended sample.
+        if l > 0 {
+            obs::counter_add(Counter::SeamCrossFades, 1);
+        }
+        for i in 0..l {
+            let a = (i + 1) as f64 / (l + 1) as f64;
+            st.cur[i] = (1.0 - a).sqrt() * st.tail[i] + a.sqrt() * st.cur[i];
+        }
+    }
+    st.tail.clear();
+    st.tail.extend(scratch.win[b..b + l].iter().map(|x| x * sd));
+    st.started = true;
+}
+
+/// Fills `out` with the next `out.len()` samples of one source — the
+/// chunked emit loop shared by [`CirculantStream::next_block`] and the
+/// batch engine.
+pub(crate) fn next_block_source(
+    spectrum: Option<&[f64]>,
+    sd: f64,
+    block: usize,
+    overlap: usize,
+    st: &mut SourceState,
+    scratch: &mut WindowScratch,
+    out: &mut [f64],
+) {
+    let mut filled = 0;
+    while filled < out.len() {
+        if st.pos >= st.cur.len() {
+            refill_source(spectrum, sd, block, overlap, st, scratch);
+        }
+        let take = (out.len() - filled).min(st.cur.len() - st.pos);
+        out[filled..filled + take].copy_from_slice(&st.cur[st.pos..st.pos + take]);
+        st.pos += take;
+        filled += take;
+    }
+}
+
 /// The engine shared by [`FgnStream`] and [`FarimaStream`]: an infinite
 /// iterator over overlapped circulant windows of a fixed spectrum.
 ///
-/// All buffers (`w`, `cur`, `tail`) are allocated once at construction
-/// and reused every window, so steady-state generation allocates
-/// nothing.
+/// All buffers (the synthesis scratch, `cur`, `tail`) are allocated once
+/// at construction and reused every window, so steady-state generation
+/// allocates nothing.
 #[derive(Debug, Clone)]
 pub struct CirculantStream {
     sd: f64,
@@ -99,18 +268,8 @@ pub struct CirculantStream {
     /// the batch generators' `n == 1` special case, where the circulant
     /// machinery is bypassed entirely).
     spectrum: Option<Arc<Vec<f64>>>,
-    rng: Xoshiro256,
-    /// Circulant synthesis workspace (`m` complex values).
-    w: Vec<Complex>,
-    /// Batch normal-draw scratch (`m` values per window), reused so the
-    /// vectorized quantile path stays allocation-free in steady state.
-    gauss: Vec<f64>,
-    /// The `block` samples currently being emitted.
-    cur: Vec<f64>,
-    /// Exact tail of the previous window, cross-faded into the next.
-    tail: Vec<f64>,
-    pos: usize,
-    started: bool,
+    state: SourceState,
+    scratch: WindowScratch,
 }
 
 impl CirculantStream {
@@ -128,19 +287,13 @@ impl CirculantStream {
         if let Some(lambda) = &spectrum {
             debug_assert!(lambda.len() / 2 + 1 >= block + overlap);
         }
-        let m = spectrum.as_ref().map_or(0, |l| l.len());
         CirculantStream {
             sd,
             block,
             overlap,
             spectrum,
-            rng,
-            w: Vec::with_capacity(m),
-            gauss: Vec::with_capacity(m),
-            cur: Vec::with_capacity(block),
-            tail: Vec::with_capacity(overlap),
-            pos: 0,
-            started: false,
+            state: SourceState::new(rng, block, overlap),
+            scratch: WindowScratch::default(),
         }
     }
 
@@ -160,59 +313,19 @@ impl CirculantStream {
         self.spectrum.as_ref().map_or(0, |l| l.len())
     }
 
-    /// Synthesises the next window into `cur`, cross-fading the seam.
-    fn refill(&mut self) {
-        let _span = obs::span("fgn.stream_refill");
-        obs::counter_add(Counter::StreamBlocks, 1);
-        self.pos = 0;
-        let Some(spectrum) = &self.spectrum else {
-            // White-noise path: batch-draw the block through the
-            // vectorized quantile kernel, then scale. Per-element values
-            // are bit-identical to the old per-sample loop.
-            self.cur.clear();
-            self.cur.resize(self.block, 0.0);
-            self.rng.fill_standard_normal(&mut self.cur);
-            for x in &mut self.cur {
-                *x *= self.sd;
-            }
-            return;
-        };
-        synthesise_from_spectrum_into(spectrum, &mut self.rng, &mut self.w, &mut self.gauss);
-        let (b, l) = (self.block, self.overlap);
-        self.cur.clear();
-        self.cur.extend(self.w[..b].iter().map(|z| z.re * self.sd));
-        if self.started {
-            // Power-preserving cross-fade against the previous tail:
-            // weights sum to one in *variance*, so the N(0, σ²) marginal
-            // is preserved exactly at every blended sample.
-            if l > 0 {
-                obs::counter_add(Counter::SeamCrossFades, 1);
-            }
-            for i in 0..l {
-                let a = (i + 1) as f64 / (l + 1) as f64;
-                self.cur[i] = (1.0 - a).sqrt() * self.tail[i] + a.sqrt() * self.cur[i];
-            }
-        }
-        self.tail.clear();
-        self.tail.extend(self.w[b..b + l].iter().map(|z| z.re * self.sd));
-        self.started = true;
-    }
-
     /// Fills `out` with the next `out.len()` samples of the stream —
     /// the chunked equivalent of calling [`Iterator::next`] in a loop,
     /// without per-sample dispatch.
     pub fn next_block(&mut self, out: &mut [f64]) {
-        let mut filled = 0;
-        while filled < out.len() {
-            if self.pos >= self.cur.len() {
-                self.refill();
-            }
-            let take = (out.len() - filled).min(self.cur.len() - self.pos);
-            out[filled..filled + take]
-                .copy_from_slice(&self.cur[self.pos..self.pos + take]);
-            self.pos += take;
-            filled += take;
-        }
+        next_block_source(
+            self.spectrum.as_deref().map(|l| &l[..]),
+            self.sd,
+            self.block,
+            self.overlap,
+            &mut self.state,
+            &mut self.scratch,
+            out,
+        );
     }
 }
 
@@ -220,11 +333,18 @@ impl Iterator for CirculantStream {
     type Item = f64;
 
     fn next(&mut self) -> Option<f64> {
-        if self.pos >= self.cur.len() {
-            self.refill();
+        if self.state.pos >= self.state.cur.len() {
+            refill_source(
+                self.spectrum.as_deref().map(|l| &l[..]),
+                self.sd,
+                self.block,
+                self.overlap,
+                &mut self.state,
+                &mut self.scratch,
+            );
         }
-        let v = self.cur[self.pos];
-        self.pos += 1;
+        let v = self.state.cur[self.state.pos];
+        self.state.pos += 1;
         Some(v)
     }
 }
@@ -288,13 +408,7 @@ impl CirculantStream {
     /// Exports the dynamic state (RNG, current window, seam tail,
     /// position) for checkpointing. `O(block + overlap)` copied floats.
     pub fn export_state(&self) -> StreamState {
-        StreamState {
-            rng: self.rng.state(),
-            cur: self.cur.clone(),
-            tail: self.tail.clone(),
-            pos: self.pos,
-            started: self.started,
-        }
+        self.state.export()
     }
 
     /// Grafts an exported state onto this (same-configuration) stream.
@@ -305,39 +419,7 @@ impl CirculantStream {
     /// must lie within the window, all samples must be finite, and the
     /// RNG state must not be the degenerate all-zero word.
     pub fn restore_state(&mut self, st: &StreamState) -> Result<(), SnapshotError> {
-        let rng = Xoshiro256::from_state(st.rng)
-            .ok_or(SnapshotError::Invalid { what: "all-zero rng state" })?;
-        if !(st.cur.is_empty() || st.cur.len() == self.block) {
-            return Err(SnapshotError::Invalid { what: "window length != stream block" });
-        }
-        if !(st.tail.is_empty() || st.tail.len() == self.overlap) {
-            return Err(SnapshotError::Invalid { what: "tail length != stream overlap" });
-        }
-        if st.pos > st.cur.len() {
-            return Err(SnapshotError::Invalid { what: "emit position past window end" });
-        }
-        if self.spectrum.is_none() && (st.started || !st.tail.is_empty()) {
-            return Err(SnapshotError::Invalid { what: "seam state on a white-noise stream" });
-        }
-        if self.spectrum.is_some() && !st.started {
-            // `started` flips on the first circulant refill; the only
-            // pre-start state is the empty one. (White-noise streams
-            // never set it and were handled above.)
-            if !(st.cur.is_empty() && st.tail.is_empty() && st.pos == 0) {
-                return Err(SnapshotError::Invalid { what: "window present before first refill" });
-            }
-        }
-        if st.cur.iter().chain(st.tail.iter()).any(|v| !v.is_finite()) {
-            return Err(SnapshotError::Invalid { what: "non-finite sample in stream state" });
-        }
-        self.rng = rng;
-        self.cur.clear();
-        self.cur.extend_from_slice(&st.cur);
-        self.tail.clear();
-        self.tail.extend_from_slice(&st.tail);
-        self.pos = st.pos;
-        self.started = st.started;
-        Ok(())
+        self.state.restore(st, self.block, self.overlap, self.spectrum.is_none())
     }
 }
 
@@ -390,7 +472,7 @@ impl BlockSource for FarimaStream {
 /// Prefix-exact geometry: the circulant of the batch call with `n =
 /// block`, plus whatever exact overlap it yields for free. Returns
 /// `(m, overlap)`; `block` must be `≥ 2`.
-fn prefix_exact_geometry(block: usize) -> (usize, usize) {
+pub(crate) fn prefix_exact_geometry(block: usize) -> (usize, usize) {
     let m = next_pow2(2 * (block - 1)).max(2);
     let exact_run = m / 2 + 1;
     (m, (exact_run - block).min(block))
@@ -631,10 +713,14 @@ pub fn farima_via_circulant(
     }
     let m = next_pow2(2 * (n - 1)).max(2);
     let lambda = farima_circulant_spectrum_cached(crate::acvf::hurst_to_d(hurst), m)?;
-    let mut w = Vec::new();
-    let mut gauss = Vec::new();
-    synthesise_from_spectrum_into(&lambda, &mut rng, &mut w, &mut gauss);
-    Ok(w.into_iter().take(n).map(|z| z.re * sd).collect())
+    let mut scratch = SynthScratch::new();
+    let mut out = Vec::new();
+    synthesise_real_into(&lambda, &mut rng, &mut scratch, &mut out);
+    out.truncate(n);
+    for x in &mut out {
+        *x *= sd;
+    }
+    Ok(out)
 }
 
 #[cfg(test)]

@@ -3,8 +3,8 @@
 
 use proptest::prelude::*;
 use vbr_fgn::{
-    farima_acf, farima_via_circulant, fgn_acvf, DaviesHarte, FarimaStream, FgnStream, Hosking,
-    MarginalTransform, TableMode,
+    farima_acf, farima_via_circulant, fgn_acvf, BatchFarima, BatchFgn, DaviesHarte, FarimaStream,
+    FgnStream, Hosking, MarginalTransform, TableMode,
 };
 use vbr_stats::dist::{ContinuousDist, GammaPareto};
 
@@ -132,6 +132,127 @@ proptest! {
                         "batch accepted but stream rejected block {}", block
                     );
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_fgn_bit_identical_to_independent_streams(
+        h in 0.05f64..0.95,
+        block in 1usize..600,
+        overlap_permille in 0usize..1001,
+        n_sources in 1usize..5,
+        chunks in prop::collection::vec(1usize..97, 1..12),
+        seed0 in 0u64..1000,
+        overlap_sel in 0u32..2,
+    ) {
+        let use_overlap = overlap_sel == 1;
+        // The shared-spectrum batch contract: source i of a BatchFgn is
+        // draw-for-draw bit-identical to an independent FgnStream with
+        // the same seed, at arbitrary block/overlap geometry and under
+        // arbitrary chunk splits with the batch's sources interleaved
+        // (each batch round draws chunk c from every source in turn,
+        // which a shared scratch window must not couple).
+        let overlap = (block * overlap_permille) / 1000; // 0 ..= block
+        let seeds: Vec<u64> = (0..n_sources as u64).map(|i| seed0 + i * 7).collect();
+        let (mut batch, mut solos) = if use_overlap {
+            (
+                BatchFgn::try_with_overlap(h, 1.0, block, overlap, &seeds).unwrap(),
+                seeds.iter()
+                    .map(|&s| FgnStream::with_overlap(h, 1.0, block, overlap, s))
+                    .collect::<Vec<_>>(),
+            )
+        } else {
+            (
+                BatchFgn::try_new(h, 1.0, block, &seeds).unwrap(),
+                seeds.iter().map(|&s| FgnStream::new(h, 1.0, block, s)).collect(),
+            )
+        };
+        for &c in &chunks {
+            let mut a = vec![0.0f64; c];
+            let mut b = vec![0.0f64; c];
+            for (i, solo) in solos.iter_mut().enumerate() {
+                batch.next_block(i, &mut a);
+                solo.next_block(&mut b);
+                for (k, (x, y)) in a.iter().zip(&b).enumerate() {
+                    prop_assert_eq!(
+                        x.to_bits(), y.to_bits(),
+                        "source {} chunk {} sample {} diverged", i, c, k
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batch_state_interchangeable_with_stream_state(
+        h in 0.05f64..0.95,
+        block in 1usize..300,
+        pre in 0usize..700,
+        post in 1usize..200,
+        seed in 0u64..1000,
+    ) {
+        // Kill/resume across engines: a checkpoint exported mid-stream
+        // from a batch source restores into a fresh BatchFgn *and* into
+        // an independent FgnStream (StreamState is one format), and both
+        // resume bit-identically with the uninterrupted source.
+        let seeds = [seed, seed ^ 0x5a5a];
+        let mut batch = BatchFgn::try_new(h, 1.0, block, &seeds).unwrap();
+        let mut buf = vec![0.0f64; pre.max(1)];
+        if pre > 0 {
+            batch.next_block(1, &mut buf[..pre]);
+            // Desync source 0 so the shared scratch is dirty at export.
+            batch.next_block(0, &mut buf[..pre.min(13)]);
+        }
+        let saved = batch.export_state(1);
+
+        let mut fresh_batch = BatchFgn::try_new(h, 1.0, block, &seeds).unwrap();
+        fresh_batch.restore_state(1, &saved).unwrap();
+        let mut fresh_stream = FgnStream::new(h, 1.0, block, seeds[1]);
+        fresh_stream.restore_state(&saved).unwrap();
+
+        let mut want = vec![0.0f64; post];
+        let mut got_b = vec![0.0f64; post];
+        let mut got_s = vec![0.0f64; post];
+        batch.next_block(1, &mut want);
+        fresh_batch.next_block(1, &mut got_b);
+        fresh_stream.next_block(&mut got_s);
+        for k in 0..post {
+            prop_assert_eq!(want[k].to_bits(), got_b[k].to_bits(), "batch resume at {}", k);
+            prop_assert_eq!(want[k].to_bits(), got_s[k].to_bits(), "stream resume at {}", k);
+        }
+    }
+
+    #[test]
+    fn batch_farima_bit_identical_to_independent_streams(
+        h in 0.5f64..0.95,
+        block in 1usize..400,
+        n_sources in 1usize..4,
+        seed0 in 0u64..1000,
+    ) {
+        // fARIMA embeddings are fallible: the batch must accept exactly
+        // when every independent stream accepts, and agree to the bit
+        // when it does.
+        let seeds: Vec<u64> = (0..n_sources as u64).map(|i| seed0 + i * 3).collect();
+        match BatchFarima::try_new(h, 1.0, block, &seeds) {
+            Ok(mut batch) => {
+                let mut a = vec![0.0f64; block];
+                let mut b = vec![0.0f64; block];
+                for (i, &s) in seeds.iter().enumerate() {
+                    let mut solo = FarimaStream::try_new(h, 1.0, block, s)
+                        .expect("batch accepted but stream rejected");
+                    batch.next_block(i, &mut a);
+                    solo.next_block(&mut b);
+                    for k in 0..block {
+                        prop_assert_eq!(a[k].to_bits(), b[k].to_bits(), "source {} at {}", i, k);
+                    }
+                }
+            }
+            Err(_) => {
+                prop_assert!(
+                    FarimaStream::try_new(h, 1.0, block, seeds[0]).is_err(),
+                    "stream accepted but batch rejected"
+                );
             }
         }
     }

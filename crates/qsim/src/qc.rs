@@ -169,6 +169,14 @@ impl<'a> MuxSim<'a> {
     pub fn run(&self, capacity_bps: f64, buffer_bytes: f64) -> AveragedLoss {
         let _span = obs::span("qsim.mux_run");
         obs::counter_add(Counter::MuxRuns, 1);
+        // Per-run overflow accounting: the process-global counter keeps
+        // accumulating (monotone, as every counter must), but this run's
+        // own contribution is captured as a snapshot delta so callers —
+        // and the bench metrics — get a per-run figure instead of a
+        // process-lifetime sum. Concurrent runs on other threads can
+        // inflate the delta; the Q-C searches and benches that read it
+        // run their `MuxSim::run` calls one at a time.
+        let before = obs::CounterSnapshot::capture();
         // Overload is deliberately legal here (transient studies run below
         // the mean rate); `try_run` is the variant that rejects it.
         //
@@ -230,7 +238,9 @@ impl<'a> MuxSim<'a> {
             p_wes += w;
         }
         let k = self.combos.len() as f64;
-        AveragedLoss { p_l: p_l / k, p_wes: p_wes / k }
+        let overflow_slots = obs::CounterSnapshot::capture()
+            .delta_of(&before, Counter::QueueOverflowSlots);
+        AveragedLoss { p_l: p_l / k, p_wes: p_wes / k, overflow_slots }
     }
 
     /// Fallible [`run`](Self::run): rejects an invalid capacity or buffer
@@ -336,6 +346,10 @@ pub struct AveragedLoss {
     pub p_l: f64,
     /// Worst-errored-second loss rate.
     pub p_wes: f64,
+    /// Buffer-overflow slots in *this* run, summed over the lag
+    /// combinations (a per-run snapshot delta of the process-global
+    /// `queue_overflow_slots` counter, which itself keeps accumulating).
+    pub overflow_slots: u64,
 }
 
 /// One point of a Q-C curve (Fig 14's axes).
@@ -515,6 +529,20 @@ mod tests {
             .try_required_capacity(0.01, LossTarget::Rate(1e-2), LossMetric::Overall, 15)
             .unwrap();
         assert!(c > sim.mean_rate() && c.is_finite());
+    }
+
+    #[test]
+    fn overflow_slots_is_per_run_not_cumulative() {
+        let t = test_trace();
+        let sim = MuxSim::new(&t, 1, 12);
+        let lossy = sim.run(sim.mean_rate() * 1.01, 100.0);
+        assert!(lossy.overflow_slots > 0);
+        // Identical reruns report the same per-run figure even though
+        // the process-global counter keeps growing between them.
+        let rerun = sim.run(sim.mean_rate() * 1.01, 100.0);
+        assert_eq!(rerun.overflow_slots, lossy.overflow_slots);
+        // A lossless run reports zero despite the lossy history.
+        assert_eq!(sim.run(sim.peak_slot_rate(), 0.0).overflow_slots, 0);
     }
 
     #[test]

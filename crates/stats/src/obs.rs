@@ -190,6 +190,59 @@ pub fn counters() -> Vec<(&'static str, u64)> {
     Counter::ALL.iter().map(|&c| (c.name(), counter_value(c))).collect()
 }
 
+/// A point-in-time capture of every counter, for attributing activity
+/// to a bounded region of work: take one before, one after, and
+/// [`delta`](CounterSnapshot::delta) yields per-region counts even
+/// though the underlying counters are process-global and monotone.
+///
+/// This is how per-run figures (e.g. one `MuxSim::run`'s
+/// `queue_overflow_slots`) are separated from process totals without
+/// resetting shared state out from under concurrent readers.
+#[derive(Debug, Clone)]
+pub struct CounterSnapshot {
+    values: [u64; Counter::ALL.len()],
+}
+
+impl CounterSnapshot {
+    /// Captures every counter's current value.
+    pub fn capture() -> Self {
+        let mut values = [0u64; Counter::ALL.len()];
+        for (slot, &c) in values.iter_mut().zip(Counter::ALL.iter()) {
+            *slot = counter_value(c);
+        }
+        CounterSnapshot { values }
+    }
+
+    /// One counter's value at capture time.
+    pub fn value(&self, c: Counter) -> u64 {
+        self.values[c as usize]
+    }
+
+    /// Per-counter increase since `earlier` (saturating: a counter
+    /// reset between snapshots reads as zero, not a wrap).
+    pub fn delta(&self, earlier: &CounterSnapshot) -> Vec<(&'static str, u64)> {
+        Counter::ALL
+            .iter()
+            .map(|&c| {
+                (c.name(), self.values[c as usize].saturating_sub(earlier.values[c as usize]))
+            })
+            .collect()
+    }
+
+    /// One counter's increase since `earlier` (saturating).
+    pub fn delta_of(&self, earlier: &CounterSnapshot, c: Counter) -> u64 {
+        self.values[c as usize].saturating_sub(earlier.values[c as usize])
+    }
+}
+
+/// Zeroes one counter (per-run isolation, e.g. a fresh `MuxSim` run's
+/// `queue_overflow_slots`). Only the locally-accumulated count is
+/// cleared; the `FftPlan*` counters also merge fft-side totals that
+/// this cannot touch — use [`CounterSnapshot`] deltas for those.
+pub fn reset_counter(c: Counter) {
+    COUNTERS[c as usize].store(0, Ordering::Relaxed);
+}
+
 /// Zeroes every counter, including the fft-side plan cache counters
 /// (test isolation and report epochs only; library code never calls
 /// this).

@@ -320,27 +320,32 @@ pub fn norm_quantile(p: f64) -> f64 {
 /// In-place batch `Φ⁻¹`: replaces every probability in `ps` with its
 /// normal quantile. Bit-identical to mapping [`norm_quantile`] over the
 /// slice (same per-element math, so results do not depend on chunk
-/// boundaries), but structured for the bulk case: 4-lane chunks whose
-/// central-branch polynomial runs as straight-line vectorizable code,
-/// with the (~15% of draws) tail lanes fixed up scalarly.
+/// boundaries or chunk width), but structured for the bulk case:
+/// `lanes()`-wide chunks whose central-branch polynomial runs as
+/// straight-line vectorizable code, with the (~15% of draws) tail lanes
+/// fixed up scalarly.
 ///
 /// Endpoints follow [`norm_quantile`]: `0 → −∞`, `1 → +∞`. Panics if
 /// any element is outside `[0, 1]`.
 pub fn norm_quantile_slice(ps: &mut [f64]) {
-    let mut chunks = ps.chunks_exact_mut(crate::simd::LANES);
+    crate::simd::dispatch_width!(W => norm_quantile_slice_w::<W>(ps))
+}
+
+/// Fixed-width body of [`norm_quantile_slice`]; public so
+/// `kernel_digest` and the width benches can pin a width explicitly.
+pub fn norm_quantile_slice_w<const W: usize>(ps: &mut [f64]) {
+    let mut chunks = ps.chunks_exact_mut(W);
     for c in &mut chunks {
-        let q = [c[0] - 0.5, c[1] - 0.5, c[2] - 0.5, c[3] - 0.5];
-        // All-central is the common case (0.85⁴ ≈ 52% of chunks run
-        // branch-free); mixed chunks pay one scalar fixup per tail lane.
-        if q[0].abs() <= PPND_CENTRAL
-            && q[1].abs() <= PPND_CENTRAL
-            && q[2].abs() <= PPND_CENTRAL
-            && q[3].abs() <= PPND_CENTRAL
-        {
-            c[0] = norm_quantile_central(q[0]);
-            c[1] = norm_quantile_central(q[1]);
-            c[2] = norm_quantile_central(q[2]);
-            c[3] = norm_quantile_central(q[3]);
+        // All-central is the common case (0.85^W of chunks run
+        // branch-free); mixed chunks pay one scalar fixup per lane.
+        let mut all_central = true;
+        for &x in c.iter() {
+            all_central &= (x - 0.5).abs() <= PPND_CENTRAL;
+        }
+        if all_central {
+            for x in c.iter_mut() {
+                *x = norm_quantile_central(*x - 0.5);
+            }
         } else {
             // Note: re-deriving p as q + 0.5 would lose low bits for
             // tiny tail probabilities; use the untouched element.
