@@ -209,14 +209,18 @@ impl PipelineState {
 /// What a restore attempt resolved to — the rungs of the degradation
 /// ladder. Never an error and never a panic: the worst outcome of any
 /// corruption is a cold start with the alarm counter raised.
+///
+/// Generic over the decoded state so the same ladder serves the
+/// single-stream pipeline ([`PipelineState`], the default) and the
+/// fleet-serving snapshots (see [`CheckpointStore::recover_with`]).
 #[derive(Debug, Clone, PartialEq)]
-pub enum Recovery {
+pub enum Recovery<T = PipelineState> {
     /// The newest generation restored cleanly.
     Latest {
         /// Snapshot sequence number.
         seq: u64,
         /// The decoded state.
-        state: PipelineState,
+        state: T,
     },
     /// The newest generation was damaged; the previous one restored.
     /// [`Counter::CheckpointFallbacks`] has been raised.
@@ -224,7 +228,7 @@ pub enum Recovery {
         /// Snapshot sequence number of the surviving generation.
         seq: u64,
         /// The decoded state.
-        state: PipelineState,
+        state: T,
         /// Generation files that existed but failed validation.
         damaged: usize,
     },
@@ -273,11 +277,18 @@ impl CheckpointStore {
     /// fsync, rename over the older generation slot. Raises
     /// [`Counter::CheckpointWrites`] on success.
     pub fn write(&self, state: &PipelineState, param_hash: u64, seq: u64) -> io::Result<PathBuf> {
-        let bytes = state.encode(param_hash, seq);
+        self.write_bytes(&state.encode(param_hash, seq), seq)
+    }
+
+    /// [`write`](Self::write) for an already-encoded snapshot blob —
+    /// the entry point for non-pipeline payloads (fleet/shard snapshots)
+    /// that bring their own codec. Same durability: temp file, fsync,
+    /// rename over the generation slot picked by `seq` parity.
+    pub fn write_bytes(&self, bytes: &[u8], seq: u64) -> io::Result<PathBuf> {
         let tmp = self.dir.join(".ckpt.tmp");
         {
             let mut f = fs::File::create(&tmp)?;
-            f.write_all(&bytes)?;
+            f.write_all(bytes)?;
             f.sync_all()?;
         }
         let dst = self.generation_path(seq);
@@ -294,7 +305,21 @@ impl CheckpointStore {
     /// recovered and [`Counter::CheckpointFallbacks`] whenever damage
     /// forced a rung down the ladder.
     pub fn recover(&self, param_hash: u64) -> Recovery {
-        let mut best: Option<(u64, PipelineState)> = None;
+        self.recover_with(|bytes| PipelineState::decode(bytes, param_hash))
+    }
+
+    /// The degradation ladder for any snapshot payload: `decode` turns a
+    /// generation file's bytes into `(seq, state)` or a typed error
+    /// (which marks the slot damaged). The [`recover`](Self::recover)
+    /// semantics — highest valid sequence wins, damage counted, resume
+    /// and fallback counters raised — apply unchanged, so the fleet's
+    /// shard snapshots get the same never-panic guarantees as the
+    /// pipeline's.
+    pub fn recover_with<T>(
+        &self,
+        decode: impl Fn(&[u8]) -> Result<(u64, T), SnapshotError>,
+    ) -> Recovery<T> {
+        let mut best: Option<(u64, T)> = None;
         let mut damaged = 0usize;
         for name in GEN_FILES {
             let path = self.dir.join(name);
@@ -306,7 +331,7 @@ impl CheckpointStore {
                     continue;
                 }
             };
-            match PipelineState::decode(&bytes, param_hash) {
+            match decode(&bytes) {
                 Ok((seq, state)) => {
                     if best.as_ref().is_none_or(|(s, _)| seq > *s) {
                         best = Some((seq, state));
@@ -351,6 +376,7 @@ mod tests {
                 tail: vec![],
                 pos: 1,
                 started: true,
+                tenant: 0,
             },
             queue: QueueState { backlog: 5.0, arrived: 20.0, lost: 0.0, served: 15.0 },
         }

@@ -301,7 +301,7 @@ pub fn real_plan_for(n: usize) -> Arc<RealFftPlan> {
         "real FFT plans require an even power-of-two length >= 2, got {n}"
     );
     {
-        let mut cache = real_cache().lock().expect("real FFT plan cache poisoned");
+        let mut cache = crate::plan::lock_counting_contention(real_cache());
         cache.tick += 1;
         let tick = cache.tick;
         if let Some((plan, stamp)) = cache.map.get_mut(&n) {
@@ -310,7 +310,7 @@ pub fn real_plan_for(n: usize) -> Arc<RealFftPlan> {
         }
     }
     let plan = Arc::new(RealFftPlan::new(n));
-    let mut cache = real_cache().lock().expect("real FFT plan cache poisoned");
+    let mut cache = crate::plan::lock_counting_contention(real_cache());
     cache.tick += 1;
     let tick = cache.tick;
     while !cache.map.contains_key(&n) && cache.map.len() >= MAX_CACHED_REAL_PLANS {

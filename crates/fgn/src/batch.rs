@@ -86,6 +86,30 @@ impl BatchStream {
         self.sources.len()
     }
 
+    /// Admits one more source into the batch, seeded fresh and tagged
+    /// with `tenant`, and returns its index. The new source starts at
+    /// its very first draw — existing sources are unaffected (their
+    /// states are independent), so groups can grow while serving.
+    pub fn push_source(&mut self, seed: u64, tenant: u64) -> usize {
+        let mut st = SourceState::new(Xoshiro256::seed_from_u64(seed), self.block, self.overlap);
+        st.tenant = tenant;
+        self.sources.push(st);
+        self.sources.len() - 1
+    }
+
+    /// The tenant identity of source `source` (0 unless assigned).
+    /// Panics if `source` is out of range.
+    pub fn tenant(&self, source: usize) -> u64 {
+        self.sources[source].tenant
+    }
+
+    /// Re-tags source `source` with a tenant identity; the tag travels
+    /// through [`export_state`](Self::export_state) /
+    /// [`restore_state`](Self::restore_state).
+    pub fn set_tenant(&mut self, source: usize, tenant: u64) {
+        self.sources[source].tenant = tenant;
+    }
+
     /// Emitted samples per window (per source).
     pub fn block(&self) -> usize {
         self.block
@@ -172,6 +196,35 @@ impl BatchFgn {
         seeds: &[u64],
     ) -> Result<Self, FgnError> {
         Self::build(hurst, variance, block, Some(overlap), seeds)
+    }
+
+    /// An empty batch group (zero sources) over a validated spectrum —
+    /// the serving-layer entry point: admit tenants one at a time with
+    /// [`push_source`](Self::push_source) as they arrive. `overlap:
+    /// None` selects prefix-exact geometry.
+    pub fn try_empty(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, overlap, &[])
+    }
+
+    /// Admits one more source (fresh seed, tenant tag) and returns its
+    /// index; see [`BatchStream::push_source`].
+    pub fn push_source(&mut self, seed: u64, tenant: u64) -> usize {
+        self.0.push_source(seed, tenant)
+    }
+
+    /// Tenant identity of source `source`.
+    pub fn tenant(&self, source: usize) -> u64 {
+        self.0.tenant(source)
+    }
+
+    /// Re-tags source `source`; see [`BatchStream::set_tenant`].
+    pub fn set_tenant(&mut self, source: usize, tenant: u64) {
+        self.0.set_tenant(source, tenant);
     }
 
     fn build(
@@ -270,6 +323,34 @@ impl BatchFarima {
         seeds: &[u64],
     ) -> Result<Self, FgnError> {
         Self::build(hurst, variance, block, Some(overlap), seeds)
+    }
+
+    /// An empty batch group (zero sources); admit tenants one at a time
+    /// with [`push_source`](Self::push_source). See
+    /// [`BatchFgn::try_empty`].
+    pub fn try_empty(
+        hurst: f64,
+        variance: f64,
+        block: usize,
+        overlap: Option<usize>,
+    ) -> Result<Self, FgnError> {
+        Self::build(hurst, variance, block, overlap, &[])
+    }
+
+    /// Admits one more source (fresh seed, tenant tag) and returns its
+    /// index; see [`BatchStream::push_source`].
+    pub fn push_source(&mut self, seed: u64, tenant: u64) -> usize {
+        self.0.push_source(seed, tenant)
+    }
+
+    /// Tenant identity of source `source`.
+    pub fn tenant(&self, source: usize) -> u64 {
+        self.0.tenant(source)
+    }
+
+    /// Re-tags source `source`; see [`BatchStream::set_tenant`].
+    pub fn set_tenant(&mut self, source: usize, tenant: u64) {
+        self.0.set_tenant(source, tenant);
     }
 
     fn build(
@@ -442,6 +523,43 @@ mod tests {
         let mut got = vec![0.0; 150];
         fresh.next_block(0, &mut got);
         assert_eq!(got, expect);
+    }
+
+    #[test]
+    fn tenant_identity_round_trips_through_state() {
+        // Shard migration: a source pushed with a tenant tag, exported,
+        // and restored into a *different* group (different position)
+        // must keep both its identity and its draw sequence.
+        let mut batch = BatchFgn::try_empty(0.8, 1.0, 64, None).unwrap();
+        let i = batch.push_source(77, 0xBEEF);
+        assert_eq!(batch.tenant(i), 0xBEEF);
+        let mut warm = vec![0.0; 90];
+        batch.next_block(i, &mut warm);
+        let st = batch.export_state(i);
+        assert_eq!(st.tenant, 0xBEEF);
+        let mut expect = vec![0.0; 120];
+        batch.next_block(i, &mut expect);
+
+        let mut other = BatchFgn::try_empty(0.8, 1.0, 64, None).unwrap();
+        other.push_source(1, 1); // occupy index 0 with a stranger
+        let j = other.push_source(0, 0); // placeholder seed; state overwrites
+        other.restore_state(j, &st).unwrap();
+        assert_eq!(other.tenant(j), 0xBEEF, "identity must survive migration");
+        let mut got = vec![0.0; 120];
+        other.next_block(j, &mut got);
+        assert_eq!(got, expect, "draws must survive migration");
+    }
+
+    #[test]
+    fn pushed_source_matches_constructor_source() {
+        let mut ctor = BatchFgn::try_new(0.7, 1.0, 48, &[123]).unwrap();
+        let mut grown = BatchFgn::try_empty(0.7, 1.0, 48, None).unwrap();
+        grown.push_source(123, 9);
+        let mut a = vec![0.0; 200];
+        let mut b = vec![0.0; 200];
+        ctor.next_block(0, &mut a);
+        grown.next_block(0, &mut b);
+        assert_eq!(a, b);
     }
 
     #[test]

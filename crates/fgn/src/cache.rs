@@ -83,7 +83,19 @@ fn hosking_reflection_cache() -> &'static VecCache {
 /// entry only (in-flight holders keep their own `Arc` to the evicted
 /// slot; hot entries stay resident — the point of the LRU order).
 fn slot_for(cache: &'static VecCache, key: Key) -> Slot {
-    let mut lru = cache.lock().expect("acvf cache poisoned");
+    // The map lock covers lookup/insert/evict only — builds run under
+    // the per-key slot lock, and nothing here executes an FFT. A waiting
+    // acquisition is therefore always momentary, and is counted into the
+    // shared `plan_cache_contention` obs counter so the fleet bench can
+    // prove the lock scope stays shard-friendly.
+    let mut lru = match cache.try_lock() {
+        Ok(g) => g,
+        Err(std::sync::TryLockError::WouldBlock) => {
+            obs::counter_add(Counter::PlanCacheContention, 1);
+            cache.lock().expect("acvf cache poisoned")
+        }
+        Err(std::sync::TryLockError::Poisoned(_)) => panic!("acvf cache poisoned"),
+    };
     lru.tick += 1;
     let tick = lru.tick;
     if let Some((slot, stamp)) = lru.map.get_mut(&key) {

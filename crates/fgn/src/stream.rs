@@ -99,6 +99,10 @@ pub(crate) struct SourceState {
     pub(crate) tail: Vec<f64>,
     pub(crate) pos: usize,
     pub(crate) started: bool,
+    /// Owner identity carried through export/restore so a source moved
+    /// between batch groups (shard migration) keeps its tenant, not just
+    /// its positional index. `0` for solo streams.
+    pub(crate) tenant: u64,
 }
 
 impl SourceState {
@@ -109,6 +113,7 @@ impl SourceState {
             tail: Vec::with_capacity(overlap),
             pos: 0,
             started: false,
+            tenant: 0,
         }
     }
 
@@ -120,6 +125,7 @@ impl SourceState {
             tail: self.tail.clone(),
             pos: self.pos,
             started: self.started,
+            tenant: self.tenant,
         }
     }
 
@@ -166,6 +172,7 @@ impl SourceState {
         self.tail.extend_from_slice(&st.tail);
         self.pos = st.pos;
         self.started = st.started;
+        self.tenant = st.tenant;
         Ok(())
     }
 }
@@ -376,6 +383,12 @@ pub struct StreamState {
     pub pos: usize,
     /// Whether a window has been synthesised (seam blending is active).
     pub started: bool,
+    /// Tenant identity of the source. Solo streams export `0`; batch
+    /// sources export whatever identity they were admitted with, so a
+    /// state restored into a different batch group (shard migration)
+    /// carries its owner along instead of relying on positional index.
+    /// Any value is structurally valid — identity is data, not geometry.
+    pub tenant: u64,
 }
 
 impl StreamState {
@@ -386,6 +399,7 @@ impl StreamState {
         p.put_f64_slice(&self.tail);
         p.put_usize(self.pos);
         p.put_bool(self.started);
+        p.put_u64(self.tenant);
     }
 
     /// Deserialises a state from a snapshot section. Structural bounds
@@ -400,7 +414,8 @@ impl StreamState {
         let tail = s.get_f64_vec()?;
         let pos = s.get_usize()?;
         let started = s.get_bool()?;
-        Ok(StreamState { rng, cur, tail, pos, started })
+        let tenant = s.get_u64()?;
+        Ok(StreamState { rng, cur, tail, pos, started, tenant })
     }
 }
 

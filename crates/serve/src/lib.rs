@@ -1,0 +1,40 @@
+//! Sharded multi-tenant source-fleet engine for self-similar VBR
+//! traffic serving.
+//!
+//! The generation crates answer "give me one source's arrival process";
+//! this crate answers the operational question a video switch or a
+//! traffic-emulation service actually faces: run *hundreds of thousands
+//! to millions* of such sources concurrently, at slice granularity, on
+//! one machine — admitting, migrating and checkpointing them while the
+//! fleet keeps ticking.
+//!
+//! The design stacks three existing mechanisms:
+//!
+//! * **Batch packing** ([`tenant`]): tenants that agree on model,
+//!   parameters and geometry (everything but the seed) share one
+//!   circulant spectrum, FFT plan and synthesis scratch via
+//!   [`vbr_fgn::BatchStream`] — so a million statistically-uniform
+//!   sources pay the spectral setup cost a handful of times, not a
+//!   million times.
+//! * **Sharding** ([`shard`]): the fleet is split into shards advanced
+//!   in lockstep slice-slots on the `vbr_stats::par` workers. Shards
+//!   share nothing during generation, which gives near-linear scaling
+//!   without touching output bits.
+//! * **Ordered aggregation** ([`fleet`]): the aggregate arrival
+//!   sequence is accumulated in global admission order, so the bits are
+//!   invariant under shard count, thread count and tenant migration —
+//!   the workspace determinism contract extended to the serving layer.
+//!
+//! Admission control reuses the Norros effective-bandwidth rule from
+//! `vbr_qsim::admission`; snapshots reuse the `vbr_stats::snapshot`
+//! codec (and, through `vbr-bench`'s `CheckpointStore`, its crash-safe
+//! two-generation file rotation).
+#![warn(missing_docs)]
+
+pub mod fleet;
+pub mod shard;
+pub mod tenant;
+
+pub use fleet::{Admission, AdmissionPolicy, AdmitError, Fleet, FleetConfig};
+pub use shard::{Shard, ShardState};
+pub use tenant::{GroupKey, SourceModel, TenantId, TenantSpec};

@@ -1,0 +1,162 @@
+//! Property tests for the fleet determinism contract: the sharded,
+//! batch-packed, possibly-parallel fleet produces an aggregate arrival
+//! sequence bit-identical to the same sources run as independent solo
+//! `FgnStream`s summed in admission order — at arbitrary shard counts,
+//! block sizes, tenant mixes, and thread counts.
+
+use proptest::prelude::*;
+use vbr_fgn::FgnStream;
+use vbr_serve::{Admission, Fleet, FleetConfig, SourceModel, TenantSpec};
+use vbr_stats::par::with_threads;
+
+fn spec(tenant: u64, hurst: f64, variance: f64, block: usize, seed: u64) -> TenantSpec {
+    TenantSpec { tenant, model: SourceModel::Fgn { hurst }, variance, block, overlap: None, seed }
+}
+
+/// Runs `slots` lockstep slots and returns the concatenated aggregate.
+fn run_fleet(specs: &[TenantSpec], shards: usize, slot_len: usize, slots: usize) -> Vec<f64> {
+    let mut fleet = Fleet::new(FleetConfig::fixed(shards, slot_len, usize::MAX));
+    for s in specs {
+        match fleet.admit(*s) {
+            Ok(Admission::Admitted { .. }) => {}
+            other => panic!("admission failed: {other:?}"),
+        }
+    }
+    let mut out = Vec::with_capacity(slots * slot_len);
+    let mut slot = vec![0.0; slot_len];
+    for _ in 0..slots {
+        fleet.advance_slot(&mut slot);
+        out.extend_from_slice(&slot);
+    }
+    out
+}
+
+/// The reference: each source as a solo stream, accumulated into the
+/// aggregate in admission order (the fleet's documented addition order).
+fn run_solo_sum(specs: &[TenantSpec], slot_len: usize, slots: usize) -> Vec<f64> {
+    let n = slots * slot_len;
+    let mut agg = vec![0.0f64; n];
+    let mut buf = vec![0.0f64; n];
+    for s in specs {
+        let mut stream =
+            FgnStream::try_new(s.model.hurst(), s.variance, s.block, s.seed).unwrap();
+        for c in buf.chunks_mut(s.block) {
+            stream.next_block(c);
+        }
+        for (a, &x) in agg.iter_mut().zip(&buf) {
+            *a += x;
+        }
+    }
+    agg
+}
+
+fn assert_bits_eq(got: &[f64], want: &[f64], what: &str) {
+    assert_eq!(got.len(), want.len());
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(g.to_bits() == w.to_bits(), "{what}: bits diverge at sample {i}: {g} vs {w}");
+    }
+}
+
+proptest! {
+    /// Core contract: fleet(k shards) ≡ ordered solo sum, bitwise.
+    /// `slot_len == block` so solo streams and fleet slots stay in
+    /// lockstep sample-for-sample.
+    #[test]
+    fn fleet_aggregate_is_bitwise_solo_sum(
+        shards in 1usize..6,
+        n_sources in 1usize..24,
+        block_pow in 0u32..6,
+        hurst_a in 0.1f64..0.9,
+        hurst_b in 0.1f64..0.9,
+        slots in 1usize..8,
+        seed0 in 0u64..1_000_000,
+    ) {
+        let block = 1usize << block_pow; // includes the block==1 white-noise path
+        let specs: Vec<TenantSpec> = (0..n_sources as u64)
+            .map(|t| {
+                let h = if t % 2 == 0 { hurst_a } else { hurst_b };
+                let v = 0.5 + (t % 3) as f64; // a few variance classes
+                spec(t, h, v, block, seed0.wrapping_add(t.wrapping_mul(0x9E37_79B9)))
+            })
+            .collect();
+        let want = run_solo_sum(&specs, block, slots);
+        let got = run_fleet(&specs, shards, block, slots);
+        assert_bits_eq(&got, &want, "fleet vs solo");
+    }
+
+    /// Shard-count invariance without a solo reference: any two shard
+    /// counts agree bit-for-bit on the same tenant set.
+    #[test]
+    fn shard_count_invariance(
+        k1 in 1usize..8,
+        k2 in 1usize..8,
+        n_sources in 1usize..32,
+        block_idx in 0usize..5,
+        hurst in 0.1f64..0.9,
+        slots in 1usize..6,
+    ) {
+        let block = [1usize, 2, 8, 16, 48][block_idx];
+        let specs: Vec<TenantSpec> = (0..n_sources as u64)
+            .map(|t| spec(t, hurst, 1.0, block, t * 7 + 1))
+            .collect();
+        let a = run_fleet(&specs, k1, block, slots);
+        let b = run_fleet(&specs, k2, block, slots);
+        assert_bits_eq(&a, &b, "shard counts");
+    }
+
+    /// Thread-count invariance: forcing 1 vs 4 worker threads (covers
+    /// both the serial and parallel shard-advance/aggregation paths)
+    /// never changes aggregate bits.
+    #[test]
+    fn thread_count_invariance(
+        shards in 1usize..5,
+        n_sources in 1usize..16,
+        block_idx in 0usize..3,
+        hurst in 0.15f64..0.85,
+        slots in 1usize..5,
+    ) {
+        let block = [1usize, 4, 32][block_idx];
+        let specs: Vec<TenantSpec> = (0..n_sources as u64)
+            .map(|t| spec(t, hurst, 1.0, block, t ^ 0xABCD))
+            .collect();
+        let serial = with_threads(1, || run_fleet(&specs, shards, block, slots));
+        let parallel = with_threads(4, || run_fleet(&specs, shards, block, slots));
+        assert_bits_eq(&parallel, &serial, "thread counts");
+    }
+
+    /// Snapshot/restore mid-run is invisible in the bits, at any shard
+    /// count and slot boundary.
+    #[test]
+    fn snapshot_restore_is_bit_invisible(
+        shards in 1usize..5,
+        n_sources in 1usize..12,
+        block_idx in 0usize..3,
+        hurst in 0.15f64..0.85,
+        pre in 1usize..4,
+        post in 1usize..4,
+    ) {
+        let block = [1usize, 8, 16][block_idx];
+        let specs: Vec<TenantSpec> = (0..n_sources as u64)
+            .map(|t| spec(t, hurst, 1.0, block, t + 11))
+            .collect();
+        let mut fleet = Fleet::new(FleetConfig::fixed(shards, block, usize::MAX));
+        for s in &specs {
+            fleet.admit(*s).unwrap();
+        }
+        let mut slot = vec![0.0; block];
+        for _ in 0..pre {
+            fleet.advance_slot(&mut slot);
+        }
+        let bytes = fleet.snapshot();
+        let mut restored = Fleet::restore(*fleet.config(), &bytes).unwrap();
+        let mut want = Vec::new();
+        let mut got = Vec::new();
+        for _ in 0..post {
+            fleet.advance_slot(&mut slot);
+            want.extend_from_slice(&slot);
+            restored.advance_slot(&mut slot);
+            got.extend_from_slice(&slot);
+        }
+        assert_bits_eq(&got, &want, "restored fleet");
+    }
+}

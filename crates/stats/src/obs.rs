@@ -95,11 +95,34 @@ pub enum Counter {
     /// start. This is the alarm counter of the degradation ladder
     /// (DESIGN.md §13): it must stay 0 on a healthy deployment.
     CheckpointFallbacks,
+    /// Plan/spectrum caches: lock acquisitions that actually waited for
+    /// another thread. Covers the FFT complex/real plan caches (counted
+    /// inside `vbr-fft`, merged here) and the fGn/fARIMA vector-cache
+    /// map locks. Those locks wrap lookup/insert only — never a build
+    /// or an FFT execution — so under the sharded serving load this
+    /// must stay near zero (DESIGN.md §15; `fleet_bench` proves it).
+    PlanCacheContention,
+    /// Fleet: sources admitted across all shards (lifetime total; the
+    /// live count is `admitted − retired`, and the serve layer reports
+    /// it directly).
+    FleetSourcesAdmitted,
+    /// Fleet: admissions rejected or parked by the front door (capacity
+    /// exhausted or slot deadline slipping).
+    FleetAdmissionRejects,
+    /// Fleet: lockstep slice-slots completed (one per `advance_slot`,
+    /// across all shards in step).
+    FleetSlots,
+    /// Fleet: slices generated (sources × slot length, summed over
+    /// slots).
+    FleetSlices,
+    /// Fleet: shard-slot advances that overran the configured wall-clock
+    /// deadline. The SLO ratio is `overruns / (slots × shards)`.
+    FleetSlotOverruns,
 }
 
 impl Counter {
     /// All counters, in declaration order (the reporting order).
-    pub const ALL: [Counter; 18] = [
+    pub const ALL: [Counter; 24] = [
         Counter::FftPlanHit,
         Counter::FftPlanMiss,
         Counter::FftPlanEvict,
@@ -118,6 +141,12 @@ impl Counter {
         Counter::CheckpointWrites,
         Counter::CheckpointResumes,
         Counter::CheckpointFallbacks,
+        Counter::PlanCacheContention,
+        Counter::FleetSourcesAdmitted,
+        Counter::FleetAdmissionRejects,
+        Counter::FleetSlots,
+        Counter::FleetSlices,
+        Counter::FleetSlotOverruns,
     ];
 
     /// Stable snake-case name used in reports and JSON.
@@ -141,6 +170,12 @@ impl Counter {
             Counter::CheckpointWrites => "checkpoint_writes",
             Counter::CheckpointResumes => "checkpoint_resumes",
             Counter::CheckpointFallbacks => "checkpoint_fallbacks",
+            Counter::PlanCacheContention => "plan_cache_contention",
+            Counter::FleetSourcesAdmitted => "fleet_sources_admitted",
+            Counter::FleetAdmissionRejects => "fleet_admission_rejects",
+            Counter::FleetSlots => "fleet_slots",
+            Counter::FleetSlices => "fleet_slices",
+            Counter::FleetSlotOverruns => "fleet_slot_overruns",
         }
     }
 }
@@ -168,6 +203,7 @@ pub fn counter_value(c: Counter) -> u64 {
         Counter::FftPlanHit => vbr_fft::plan_cache_stats().hits,
         Counter::FftPlanMiss => vbr_fft::plan_cache_stats().misses,
         Counter::FftPlanEvict => vbr_fft::plan_cache_stats().evictions,
+        Counter::PlanCacheContention => vbr_fft::plan_cache_stats().contention,
         _ => 0,
     };
     local + upstream

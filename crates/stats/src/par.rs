@@ -185,6 +185,57 @@ where
         .collect()
 }
 
+/// Runs `f(index, &mut item)` over every element of `items` on the
+/// configured worker pool — the in-place counterpart of [`par_map`] for
+/// workloads that *advance* owned state (one shard of a source fleet
+/// per element) instead of producing values.
+///
+/// The slice is split into contiguous chunks, one scoped worker per
+/// chunk, so every element is visited exactly once with exclusive
+/// access. Because each element is advanced independently of every
+/// other, the result is identical to the serial `for` loop regardless
+/// of worker count — determinism comes from data disjointness, not
+/// scheduling. The nested-parallelism guard applies: a call issued from
+/// inside another parallel worker runs serially. Panics in `f`
+/// propagate.
+pub fn par_for_each_mut<T, F>(items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    par_for_each_mut_with(num_threads(), items, f)
+}
+
+/// [`par_for_each_mut`] with an explicit worker count, bypassing
+/// configuration.
+pub fn par_for_each_mut_with<T, F>(threads: usize, items: &mut [T], f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut T) + Sync,
+{
+    let n = items.len();
+    let nested = IN_WORKER.with(|w| w.get());
+    if threads <= 1 || n <= 1 || nested {
+        for (i, item) in items.iter_mut().enumerate() {
+            f(i, item);
+        }
+        return;
+    }
+    let threads = threads.min(n);
+    let chunk = n.div_ceil(threads);
+    let f = &f;
+    std::thread::scope(|scope| {
+        for (ci, part) in items.chunks_mut(chunk).enumerate() {
+            scope.spawn(move || {
+                IN_WORKER.with(|w| w.set(true));
+                for (j, item) in part.iter_mut().enumerate() {
+                    f(ci * chunk + j, item);
+                }
+            });
+        }
+    });
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -270,6 +321,48 @@ mod tests {
         });
         let want: Vec<u64> = xs.iter().map(|&i| i * 3).collect();
         assert_eq!(got, want);
+    }
+
+    #[test]
+    fn for_each_mut_matches_serial_mutation() {
+        let init: Vec<f64> = (0..331).map(|i| i as f64 * 0.61 - 40.0).collect();
+        let advance = |i: usize, x: &mut f64| {
+            // Non-associative per-element chain seeded by the index.
+            for k in 0..30 {
+                *x = *x * 1.0000007 + ((i + k) as f64).cos() * 1e-6;
+            }
+        };
+        let mut serial = init.clone();
+        for (i, x) in serial.iter_mut().enumerate() {
+            advance(i, x);
+        }
+        for &t in &[1usize, 2, 3, 8, 64] {
+            let mut par = init.clone();
+            par_for_each_mut_with(t, &mut par, advance);
+            assert_eq!(par, serial, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn for_each_mut_nested_runs_serially() {
+        let mut outer: Vec<Vec<usize>> = (0..8).map(|_| (0..4).collect()).collect();
+        par_for_each_mut_with(4, &mut outer, |i, row| {
+            par_for_each_mut_with(4, row, |j, v| *v = i * 10 + j);
+        });
+        for (i, row) in outer.iter().enumerate() {
+            for (j, &v) in row.iter().enumerate() {
+                assert_eq!(v, i * 10 + j);
+            }
+        }
+    }
+
+    #[test]
+    fn for_each_mut_empty_and_singleton() {
+        let mut empty: Vec<i32> = Vec::new();
+        par_for_each_mut_with(8, &mut empty, |_, _| unreachable!());
+        let mut one = [5i32];
+        par_for_each_mut_with(8, &mut one, |_, v| *v *= 2);
+        assert_eq!(one, [10]);
     }
 
     #[test]

@@ -21,6 +21,9 @@
 //!   curves and statistical multiplexing gain.
 //! - [`model`] — the paper's four-parameter source model: estimation,
 //!   generation, ablations, validation.
+//! - [`serve`] — sharded multi-tenant source-fleet engine: lockstep
+//!   slice-slot serving of up to ~10⁶ concurrent sources, admission
+//!   control, whole-fleet checkpoint/migration.
 //!
 //! ```
 //! use vbr::prelude::*;
@@ -41,6 +44,7 @@ pub use vbr_fgn as fgn;
 pub use vbr_lrd as lrd;
 pub use vbr_model as model;
 pub use vbr_qsim as qsim;
+pub use vbr_serve as serve;
 pub use vbr_stats as stats;
 pub use vbr_video as video;
 
