@@ -208,6 +208,10 @@ pub struct Fleet {
     ids: HashSet<TenantId>,
     slots_done: u64,
     overruns: u64,
+    /// Deadline-eligible shard-slots: non-empty shards advanced while a
+    /// slot deadline was configured. The overrun ratio's denominator —
+    /// the same population the numerator is drawn from.
+    eligible_slots: u64,
     /// Norros cap per Hurst bit pattern (the scan is `O(n_max)`).
     norros_cache: HashMap<u64, usize>,
 }
@@ -228,6 +232,7 @@ impl Fleet {
             ids: HashSet::new(),
             slots_done: 0,
             overruns: 0,
+            eligible_slots: 0,
             norros_cache: HashMap::new(),
         }
     }
@@ -257,13 +262,15 @@ impl Fleet {
         self.overruns
     }
 
-    /// Overrun shard-slots over total shard-slots (0 before any slot).
+    /// Overrun shard-slots over deadline-eligible shard-slots — slots
+    /// advanced on *non-empty* shards while a deadline was configured,
+    /// the same population overruns are counted from. Empty shards never
+    /// dilute the ratio (0 before any eligible slot).
     pub fn overrun_ratio(&self) -> f64 {
-        let total = self.slots_done * self.shards.len() as u64;
-        if total == 0 {
+        if self.eligible_slots == 0 {
             0.0
         } else {
-            self.overruns as f64 / total as f64
+            self.overruns as f64 / self.eligible_slots as f64
         }
     }
 
@@ -375,9 +382,12 @@ impl Fleet {
         if let Some(deadline) = self.cfg.slot_deadline {
             let budget = deadline.as_nanos() as u64;
             for shard in &self.shards {
-                if shard.sources() > 0 && shard.last_advance_nanos > budget {
-                    self.overruns += 1;
-                    obs::counter_add(Counter::FleetSlotOverruns, 1);
+                if shard.sources() > 0 {
+                    self.eligible_slots += 1;
+                    if shard.last_advance_nanos > budget {
+                        self.overruns += 1;
+                        obs::counter_add(Counter::FleetSlotOverruns, 1);
+                    }
                 }
             }
         }
@@ -437,15 +447,16 @@ impl Fleet {
             (&mut b[0], &mut a[to])
         };
         let remap = src.drain_into(dst)?;
-        let mut next = 0usize;
+        // `remap` is keyed by *old local index*. Registry entries are not
+        // generally sorted by local (earlier migrations into `from` may
+        // have appended out of order), so each placement must look up its
+        // own old local — never a running counter over iteration order.
         for p in &mut self.registry {
             if p.shard == from as u32 {
                 p.shard = to as u32;
-                p.local = remap[next];
-                next += 1;
+                p.local = remap[p.local as usize];
             }
         }
-        debug_assert_eq!(next, remap.len(), "registry covered every migrated source");
         Ok(())
     }
 
@@ -459,6 +470,7 @@ impl Fleet {
         w.section(TAG_FLEET_META, |p| {
             p.put_u64(self.slots_done);
             p.put_u64(self.overruns);
+            p.put_u64(self.eligible_slots);
             p.put_usize(self.shards.len());
             p.put_usize(self.cfg.slot_len);
             p.put_usize(self.registry.len());
@@ -489,6 +501,7 @@ impl Fleet {
         let mut meta = r.section(TAG_FLEET_META, "fleet meta")?;
         let slots_done = meta.get_u64()?;
         let overruns = meta.get_u64()?;
+        let eligible_slots = meta.get_u64()?;
         let n_shards = meta.get_usize()?;
         let slot_len = meta.get_usize()?;
         if n_shards != cfg.shards {
@@ -550,6 +563,7 @@ impl Fleet {
             ids,
             slots_done,
             overruns,
+            eligible_slots,
             norros_cache: HashMap::new(),
         })
     }
@@ -747,6 +761,61 @@ mod tests {
             got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
             "migration changed aggregate bits"
         );
+    }
+
+    #[test]
+    fn chained_migrations_through_occupied_shards_round_trip() {
+        // Regression: migrating *into* an occupied shard appends that
+        // shard's registry placements out of local-index order, so a
+        // later migration *out* of it must key the drain remap by each
+        // placement's old local index — not by registry iteration order.
+        // The old counter-based rewrite cross-wired tenants here and
+        // made restore fail with "registry tenant != shard tenant".
+        let block = 8;
+        let mut a = Fleet::new(FleetConfig::fixed(3, block, 64));
+        let mut b = Fleet::new(FleetConfig::fixed(3, block, 64));
+        for t in 0..9 {
+            let s = spec(t, if t % 2 == 0 { 0.8 } else { 0.55 }, block);
+            a.admit(s).unwrap();
+            b.admit(s).unwrap();
+        }
+        run_slots(&mut a, 3);
+        run_slots(&mut b, 3);
+        b.migrate_shard(0, 1).unwrap();
+        b.migrate_shard(1, 0).unwrap();
+        b.migrate_shard(0, 2).unwrap();
+        assert_eq!(b.sources(), 9);
+
+        let bytes = b.snapshot();
+        let mut restored = Fleet::restore(*b.config(), &bytes).unwrap();
+
+        let want = run_slots(&mut a, 4);
+        let got = run_slots(&mut b, 4);
+        assert!(
+            got.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "chained migration changed aggregate bits"
+        );
+        let resumed = run_slots(&mut restored, 4);
+        assert!(
+            resumed.iter().zip(&want).all(|(x, y)| x.to_bits() == y.to_bits()),
+            "restore after chained migration diverged"
+        );
+    }
+
+    #[test]
+    fn overrun_ratio_ignores_empty_shards() {
+        // One source on a 4-shard fleet with an unmeetable deadline:
+        // every eligible (non-empty) shard-slot overruns, so the ratio
+        // must read 1.0 — not 0.25 diluted by the three idle shards.
+        let mut cfg = FleetConfig::fixed(4, 4, 64);
+        cfg.slot_deadline = Some(Duration::from_nanos(0));
+        let mut fleet = Fleet::new(cfg);
+        fleet.admit(spec(1, 0.8, 8)).unwrap();
+        let mut slot = [0.0; 4];
+        fleet.advance_slot(&mut slot);
+        fleet.advance_slot(&mut slot);
+        assert_eq!(fleet.overruns(), 2);
+        assert_eq!(fleet.overrun_ratio(), 1.0);
     }
 
     #[test]

@@ -116,7 +116,9 @@ pub enum Counter {
     /// slots).
     FleetSlices,
     /// Fleet: shard-slot advances that overran the configured wall-clock
-    /// deadline. The SLO ratio is `overruns / (slots × shards)`.
+    /// deadline. The SLO ratio is `overruns / eligible`, where eligible
+    /// counts only non-empty shards' slots — the population overruns are
+    /// drawn from, so empty shards never dilute the ratio.
     FleetSlotOverruns,
 }
 

@@ -32,7 +32,14 @@
 use std::fmt;
 
 /// Codec version written into (and required from) every snapshot.
-pub const CODEC_VERSION: u32 = 1;
+///
+/// History: v1 was the original pipeline codec; v2 appended the tenant
+/// identity to every stream-state section (and eligible-slot accounting
+/// to fleet metadata) for shard migration. Bumping here is what turns a
+/// stale on-disk snapshot into a typed [`SnapshotError::
+/// UnsupportedVersion`] refusal instead of a decode error that recovery
+/// would misread as corruption.
+pub const CODEC_VERSION: u32 = 2;
 
 /// Leading magic bytes of every snapshot file.
 pub const MAGIC: [u8; 8] = *b"VBRSNAP\0";
