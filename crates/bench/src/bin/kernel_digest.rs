@@ -82,6 +82,70 @@ fn main() {
     }
     println!("fft_radix4 {}", d.hex());
 
+    // Lane-parallel batched FFT at the dispatched lane count. The lane
+    // kernels are bit-identical per lane to the scalar plan for every
+    // `l`, so this digest must not move across forced widths even
+    // though `lanes()` itself differs — the strongest single check of
+    // the §16 lane contract.
+    let l = vbr_fft::lanes();
+    let mut d = Digest::new();
+    for logn in [12u32, 13] {
+        let m = 1usize << logn;
+        let plan = plan_for(m);
+        let mut interleaved = vec![Complex::ZERO; m * l];
+        for v in 0..l {
+            for j in 0..m {
+                interleaved[j * l + v] = Complex::from_re(normals[(j + 97 * v) % n]);
+            }
+        }
+        for dir in [Direction::Forward, Direction::Inverse] {
+            match dir {
+                Direction::Forward => plan.forward_lanes(&mut interleaved, l),
+                Direction::Inverse => plan.inverse_lanes(&mut interleaved, l),
+            }
+            // Digest lane-major so the stream of words is independent
+            // of `l`: lane v's bits are the scalar transform's bits.
+            for v in 0..l.min(2) {
+                for j in 0..m {
+                    let z = interleaved[j * l + v];
+                    d.push(z.re.to_bits());
+                    d.push(z.im.to_bits());
+                }
+            }
+        }
+    }
+    println!("batch_fft {}", d.hex());
+
+    // Split-radix DIF kernel, scalar and lane paths, both directions.
+    let mut d = Digest::new();
+    for logn in [12u32, 13] {
+        let m = 1usize << logn;
+        let plan = vbr_fft::SplitRadixPlan::new(m);
+        let mut buf: Vec<Complex> = normals[..m].iter().map(|&x| Complex::from_re(x)).collect();
+        for dir in [Direction::Forward, Direction::Inverse] {
+            plan.process(&mut buf, dir);
+            for z in &buf {
+                d.push(z.re.to_bits());
+                d.push(z.im.to_bits());
+            }
+        }
+        let mut interleaved = vec![Complex::ZERO; m * l];
+        for v in 0..l {
+            for j in 0..m {
+                interleaved[j * l + v] = Complex::from_re(normals[(j + 53 * v) % n]);
+            }
+        }
+        plan.forward_lanes(&mut interleaved, l);
+        for v in 0..l.min(2) {
+            for j in 0..m {
+                let z = interleaved[j * l + v];
+                d.push(z.re.to_bits());
+                d.push(z.im.to_bits());
+            }
+        }
+    }
+    println!("split_radix {}", d.hex());
+
     // Half-size-complex real FFT: forward, Hermitian synthesis, and the
     // normalised inverse round trip, even and odd log2 n.
     let mut d = Digest::new();

@@ -114,6 +114,7 @@ fn run_suite(sizes: &Sizes) -> PerfReport {
     bench_kernels(sizes, &mut report);
     bench_kernels_simd(sizes, &mut report);
     bench_kernels_wide(sizes, &mut report);
+    bench_kernels_batch_fft(sizes, &mut report);
     bench_estimators(sizes, &mut report);
     bench_simulation(sizes, &mut report);
     bench_streaming(sizes, &mut report);
@@ -1055,6 +1056,128 @@ fn bench_kernels_wide(sizes: &Sizes, report: &mut PerfReport) {
             "n={fft_n} real samples from a Hermitian half-spectrum; baseline mirrors the \
              spectrum and runs a full-length complex FFT, new path folds into one \
              half-length transform (the Davies-Harte synthesis kernel)"
+        ),
+    );
+}
+
+/// The §16 lane-parallel batch kernels: l = lanes() sources per call,
+/// lane-interleaved SoA, bit-identical per lane to the scalar plan.
+/// Baselines run the same work as l scalar calls.
+fn bench_kernels_batch_fft(sizes: &Sizes, report: &mut PerfReport) {
+    let l = vbr_fft::lanes();
+    // A fleet-shaped transform size: small enough that per-call
+    // overhead matters, which is exactly what lane batching amortises.
+    let n = (sizes.fft_n >> 4).max(16);
+    let plan = vbr_fft::plan_for(n);
+    let mut rng = Xoshiro256::seed_from_u64(31);
+    let signals: Vec<Vec<Complex>> = (0..l)
+        .map(|_| (0..n).map(|_| Complex::new(rng.standard_normal(), rng.standard_normal())).collect())
+        .collect();
+    let mut interleaved = vec![Complex::ZERO; n * l];
+    for (v, sig) in signals.iter().enumerate() {
+        for (j, &z) in sig.iter().enumerate() {
+            interleaved[j * l + v] = z;
+        }
+    }
+    let mut solo = vec![Complex::ZERO; n];
+    let mut batch = vec![Complex::ZERO; n * l];
+    let reps = sizes.reps * 4;
+    let t_scalar = time_median(1, reps, || {
+        for sig in &signals {
+            solo.copy_from_slice(sig);
+            plan.forward(&mut solo);
+            std::hint::black_box(solo[n - 1]);
+        }
+    });
+    let t_lanes = time_median(1, reps, || {
+        batch.copy_from_slice(&interleaved);
+        plan.forward_lanes(&mut batch, l);
+        std::hint::black_box(batch[n * l - 1]);
+    });
+    report.record_vs(
+        "kernels_batch_fft",
+        "fft_scalar_loop_vs_lanes",
+        t_scalar,
+        t_lanes,
+        (1, reps),
+        &format!(
+            "{l} forward transforms of n={n}; baseline loops the scalar radix-4 plan, \
+             new path one lane-interleaved forward_lanes call (bits identical per lane)"
+        ),
+    );
+
+    // The Davies-Harte hot kernel, fleet shape: l Hermitian syntheses.
+    let half = n / 2;
+    let rplan = vbr_fft::real_plan_for(n);
+    let spectra: Vec<Vec<Complex>> = (0..l)
+        .map(|_| {
+            let mut hs: Vec<Complex> = (0..=half)
+                .map(|_| Complex::new(rng.standard_normal(), rng.standard_normal()))
+                .collect();
+            hs[0] = Complex::from_re(hs[0].re);
+            hs[half] = Complex::from_re(hs[half].re);
+            hs
+        })
+        .collect();
+    let mut half_il = vec![Complex::ZERO; (half + 1) * l];
+    for (v, hs) in spectra.iter().enumerate() {
+        for (k, &z) in hs.iter().enumerate() {
+            half_il[k * l + v] = z;
+        }
+    }
+    let (mut out, mut scratch) = (Vec::new(), Vec::new());
+    let t_scalar = time_median(1, reps, || {
+        for hs in &spectra {
+            rplan.synthesize_hermitian(hs, &mut out, &mut scratch);
+            std::hint::black_box(out[n - 1]);
+        }
+    });
+    let (mut out_l, mut scratch_l) = (Vec::new(), Vec::new());
+    let t_lanes = time_median(1, reps, || {
+        rplan.synthesize_hermitian_lanes(&half_il, &mut out_l, &mut scratch_l, l);
+        std::hint::black_box(out_l[n * l - 1]);
+    });
+    report.record_vs(
+        "kernels_batch_fft",
+        "hermitian_synthesis_scalar_loop_vs_lanes",
+        t_scalar,
+        t_lanes,
+        (1, reps),
+        &format!(
+            "{l} Hermitian syntheses of n={n}; baseline loops the scalar kernel, \
+             new path one synthesize_hermitian_lanes pass over interleaved bins"
+        ),
+    );
+
+    // Split-radix audition: the DIF kernel owed by ROADMAP item 4
+    // against the production radix-4 plan, same size, same data. The
+    // radix-4 plan is the deliberate winner on this host (DESIGN.md
+    // §16); this entry keeps the comparison honest under the gate so
+    // a future host can re-audition split-radix with one bench run.
+    let sr = vbr_fft::SplitRadixPlan::new(n);
+    let t_sr = time_median(1, reps, || {
+        for sig in &signals {
+            solo.copy_from_slice(sig);
+            sr.forward(&mut solo);
+            std::hint::black_box(solo[n - 1]);
+        }
+    });
+    let t_r4 = time_median(1, reps, || {
+        for sig in &signals {
+            solo.copy_from_slice(sig);
+            plan.forward(&mut solo);
+            std::hint::black_box(solo[n - 1]);
+        }
+    });
+    report.record_vs(
+        "kernels_batch_fft",
+        "split_radix_vs_radix4",
+        t_sr,
+        t_r4,
+        (1, reps),
+        &format!(
+            "{l} forward transforms of n={n}; baseline split-radix DIF recursion, \
+             new path the production radix-4 SoA plan (measured winner on this host)"
         ),
     );
 }

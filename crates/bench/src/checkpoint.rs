@@ -91,7 +91,12 @@ impl PipelineConfig {
 }
 
 /// Running FNV-1a digest over emitted slice values (their raw IEEE-754
-/// bits, little-endian). Carried inside every checkpoint so a resumed
+/// bits). Each sample folds in as one `u64` word — one
+/// xor and one multiply per sample instead of eight, which matters when
+/// the digest shadows a 25 Mslices/s stream. Digests are only ever
+/// compared between runs of the same build (resume drills, width/shard
+/// sweeps), so the word-wise variant is as good an identity witness as
+/// the byte-wise one. Carried inside every checkpoint so a resumed
 /// run's final digest covers *all* slices — including those emitted by
 /// the process that died — and must equal the uninterrupted run's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,10 +122,8 @@ impl TraceDigest {
     pub fn update(&mut self, xs: &[f64]) {
         let mut h = self.h;
         for &x in xs {
-            for b in x.to_bits().to_le_bytes() {
-                h ^= b as u64;
-                h = h.wrapping_mul(FNV_PRIME);
-            }
+            h ^= x.to_bits();
+            h = h.wrapping_mul(FNV_PRIME);
         }
         self.h = h;
     }

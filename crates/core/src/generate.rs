@@ -209,12 +209,15 @@ impl SourceModel {
 
     /// The raw generation pipeline, assuming a validated model.
     fn frames_unchecked(&self, n: usize, seed: u64) -> Vec<f64> {
-        let gauss = self.gaussian_stage(n, seed);
+        let mut gauss = self.gaussian_stage(n, seed);
         match self.marginal {
             MarginalVariant::GammaPareto => {
                 let target: GammaPareto = self.params.marginal();
                 let xform = MarginalTransform::new(&target, 0.0, 1.0, self.table);
-                xform.map_series(&gauss)
+                // In place over the Gaussian buffer: same per-sample map
+                // as `map_series`, without a second n-length allocation.
+                xform.map_inplace(&mut gauss);
+                gauss
             }
             MarginalVariant::Gaussian => {
                 let target = Normal::new(self.params.mu_gamma, self.params.sigma_gamma);

@@ -39,17 +39,17 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// A reusable execution plan for power-of-two FFTs of one fixed size.
 #[derive(Debug, Clone)]
 pub struct FftPlan {
-    n: usize,
+    pub(crate) n: usize,
     /// `bit_rev[i]` = bit-reversed index of `i` (length `n`).
-    bit_rev: Vec<u32>,
+    pub(crate) bit_rev: Vec<u32>,
     /// Real parts of the radix-4 twiddles, stage-major. For the stage
     /// with butterfly span `len` (quarter `L = len/4`) the stage block
     /// is `[w1(L) | w2(L) | w3(L)]` with `wk[j] = exp(-2πi·k·j/len)`;
     /// stages appear in execution order (span 4 or 8 first). Inverse
     /// transforms conjugate on the fly.
-    tw_re: Vec<f64>,
+    pub(crate) tw_re: Vec<f64>,
     /// Imaginary parts, same layout as `tw_re`.
-    tw_im: Vec<f64>,
+    pub(crate) tw_im: Vec<f64>,
 }
 
 impl FftPlan {
@@ -180,7 +180,7 @@ impl FftPlan {
 /// even, 8 when odd (a span-2 radix-2 stage runs first). Returns 8 for
 /// `n = 2` as well, which the caller treats as "radix-2 stage only".
 #[inline]
-fn first_radix4_span(n: usize) -> usize {
+pub(crate) fn first_radix4_span(n: usize) -> usize {
     if n.trailing_zeros().is_multiple_of(2) {
         4
     } else {
@@ -259,16 +259,45 @@ fn radix4_butterfly<const FWD: bool>(
     w3im: &[f64],
     j: usize,
 ) {
-    let a = q0[j];
-    let b = q1[j];
-    let c = q2[j];
-    let d = q3[j];
-    let (i1, i2, i3) = if FWD {
-        (w1im[j], w2im[j], w3im[j])
-    } else {
-        (-w1im[j], -w2im[j], -w3im[j])
-    };
-    let (r1, r2, r3) = (w1re[j], w2re[j], w3re[j]);
+    let (o0, o1, o2, o3) = radix4_core::<FWD>(
+        q0[j],
+        q1[j],
+        q2[j],
+        q3[j],
+        w1re[j],
+        w1im[j],
+        w2re[j],
+        w2im[j],
+        w3re[j],
+        w3im[j],
+    );
+    q0[j] = o0;
+    q1[j] = o1;
+    q2[j] = o2;
+    q3[j] = o3;
+}
+
+/// The radix-4 butterfly on *values* — the single source of butterfly
+/// arithmetic shared by the scalar plan kernel above and the
+/// lane-parallel batch kernel (`crate::batch`). Because both execute
+/// this exact expression sequence per element, a lane-batched transform
+/// is bit-identical to the scalar transform of each lane by
+/// construction (DESIGN.md §16).
+#[expect(clippy::too_many_arguments, reason = "split re/im value hot path")]
+#[inline(always)]
+pub(crate) fn radix4_core<const FWD: bool>(
+    a: Complex,
+    b: Complex,
+    c: Complex,
+    d: Complex,
+    r1: f64,
+    w1: f64,
+    r2: f64,
+    w2: f64,
+    r3: f64,
+    w3: f64,
+) -> (Complex, Complex, Complex, Complex) {
+    let (i1, i2, i3) = if FWD { (w1, w2, w3) } else { (-w1, -w2, -w3) };
     // W²ʲ·B, Wʲ·C, W³ʲ·D in split re/im form.
     let tb_re = b.re * r2 - b.im * i2;
     let tb_im = b.re * i2 + b.im * r2;
@@ -284,16 +313,21 @@ fn radix4_butterfly<const FWD: bool>(
     let s2_im = tc_im + td_im;
     let s3_re = tc_re - td_re;
     let s3_im = tc_im - td_im;
-    q0[j] = Complex::new(s0_re + s2_re, s0_im + s2_im);
-    q2[j] = Complex::new(s0_re - s2_re, s0_im - s2_im);
-    if FWD {
+    let o0 = Complex::new(s0_re + s2_re, s0_im + s2_im);
+    let o2 = Complex::new(s0_re - s2_re, s0_im - s2_im);
+    let (o1, o3) = if FWD {
         // ∓i rotation: s1 − i·s3 and s1 + i·s3.
-        q1[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
-        q3[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
+        (
+            Complex::new(s1_re + s3_im, s1_im - s3_re),
+            Complex::new(s1_re - s3_im, s1_im + s3_re),
+        )
     } else {
-        q1[j] = Complex::new(s1_re - s3_im, s1_im + s3_re);
-        q3[j] = Complex::new(s1_re + s3_im, s1_im - s3_re);
-    }
+        (
+            Complex::new(s1_re - s3_im, s1_im + s3_re),
+            Complex::new(s1_re + s3_im, s1_im - s3_re),
+        )
+    };
+    (o0, o1, o2, o3)
 }
 
 /// The scalar twin of the plan kernel: the classic stage-by-stage

@@ -123,13 +123,13 @@ pub fn power_spectrum_into(
 /// flags, like every kernel in this workspace.
 #[derive(Debug, Clone)]
 pub struct RealFftPlan {
-    n: usize,
+    pub(crate) n: usize,
     /// The length-`n/2` complex plan both directions execute.
-    half_plan: Arc<FftPlan>,
+    pub(crate) half_plan: Arc<FftPlan>,
     /// `ω^k = e^{−2πik/n}` for `k = 0..n/2`, split re/im, evaluated
     /// directly from `sin_cos` (one-ulp worst case, like [`FftPlan`]).
-    tw_re: Vec<f64>,
-    tw_im: Vec<f64>,
+    pub(crate) tw_re: Vec<f64>,
+    pub(crate) tw_im: Vec<f64>,
 }
 
 impl RealFftPlan {
@@ -240,8 +240,13 @@ impl RealFftPlan {
         let n = self.n;
         let h = n / 2;
         assert_eq!(half.len(), h + 1, "plan needs {} half-spectrum bins, got {}", h + 1, half.len());
-        scratch.clear();
-        scratch.resize(h, Complex::ZERO);
+        // Resize only on first use / size change: every element below is
+        // overwritten, so the old clear()+resize() pattern re-zeroed `h`
+        // complex slots per window for nothing.
+        if scratch.len() != h {
+            scratch.clear();
+            scratch.resize(h, Complex::ZERO);
+        }
         // Fold W[k] and W[k+h] = conj(W[h−k]) (k ≥ 1; W[h] at k = 0) into
         // C[k] = A[k] + i·B[k] with A[k] = W[k] + W[k+h] and
         // B[k] = (W[k] − W[k+h])·ω^k. The even/odd output interleave
@@ -267,11 +272,13 @@ impl RealFftPlan {
             scratch[k] = Complex::new(a.re - b_im, a.im + b_re);
         }
         self.half_plan.forward(scratch);
-        out.clear();
-        out.reserve(n);
-        for z in scratch.iter() {
-            out.push(z.re);
-            out.push(z.im);
+        if out.len() != n {
+            out.clear();
+            out.resize(n, 0.0);
+        }
+        for (t, z) in scratch.iter().enumerate() {
+            out[2 * t] = z.re;
+            out[2 * t + 1] = z.im;
         }
     }
 }

@@ -1,0 +1,408 @@
+//! Split-radix FFT (decimation-in-frequency), scalar and lane-parallel.
+//!
+//! The split-radix schedule mixes a radix-2 split for the even outputs
+//! with a radix-4 split for the odd ones:
+//!
+//! ```text
+//! X[2k]   = DFT_{n/2}{ x[j] + x[j+n/2] }
+//! X[4k+1] = DFT_{n/4}{ ((x[j] − x[j+n/2]) − i(x[j+n/4] − x[j+3n/4]))·ω^j }
+//! X[4k+3] = DFT_{n/4}{ ((x[j] − x[j+n/2]) + i(x[j+n/4] − x[j+3n/4]))·ω^{3j} }
+//! ```
+//!
+//! (forward, `ω = e^{−2πi/n}`, `j ∈ [0, n/4)`; the inverse conjugates
+//! the twiddles and swaps the `∓i` pair). This costs asymptotically
+//! ~10% fewer real multiplies than the radix-4 schedule in
+//! [`crate::plan`] — the classic flop floor among power-of-two FFTs —
+//! and its depth-first recursion touches memory in cache-sized spans,
+//! where the iterative radix-4 pipeline makes `log₄ n` full passes.
+//!
+//! Like every kernel in this workspace the butterfly arithmetic lives
+//! in one value-level function ([`sr_core`]) shared verbatim by the
+//! scalar and the lane-interleaved entry points, so a lane-batched
+//! transform is bit-identical to the scalar transform of each lane by
+//! construction (DESIGN.md §16), and the recursion order is fixed in
+//! source so outputs are host- and flag-invariant.
+//!
+//! The DIF ordering runs butterflies on natural-order input and
+//! bit-reverses at the end (the split-radix DIF output permutation *is*
+//! plain bit-reversal, as for radix-2 DIF). Twiddles are evaluated
+//! directly from `sin_cos` per stage length — `cc1/ss1` for `ω^j`,
+//! `cc3/ss3` for `ω^{3j}` — never by repeated multiplication, keeping
+//! the worst-case twiddle error at one ulp regardless of `n`.
+
+use crate::complex::Complex;
+use crate::radix2::{is_pow2, Direction};
+
+/// A reusable split-radix execution plan for one power-of-two length.
+#[derive(Debug, Clone)]
+pub struct SplitRadixPlan {
+    n: usize,
+    /// `bit_rev[i]` = bit-reversed index of `i` (length `n`).
+    bit_rev: Vec<u32>,
+    /// Per-stage twiddles indexed by `log₂ len`: `[cc1, ss1, cc3, ss3]`,
+    /// each of length `len/4`, with `(cc1, ss1) = ω^j` and
+    /// `(cc3, ss3) = ω^{3j}` for `ω = e^{−2πi/len}`. Entries below
+    /// `log₂ 4` are empty (those block sizes are twiddle-free).
+    tw: Vec<[Vec<f64>; 4]>,
+}
+
+impl SplitRadixPlan {
+    /// Builds a plan for transforms of length `n` (a power of two).
+    pub fn new(n: usize) -> SplitRadixPlan {
+        assert!(is_pow2(n), "split-radix plans require a power-of-two length, got {n}");
+        assert!(n <= u32::MAX as usize, "split-radix plan size {n} exceeds table range");
+
+        let mut bit_rev = vec![0u32; n];
+        let mut j = 0usize;
+        for r in bit_rev.iter_mut().skip(1) {
+            let mut bit = n >> 1;
+            while j & bit != 0 {
+                j ^= bit;
+                bit >>= 1;
+            }
+            j |= bit;
+            *r = j as u32;
+        }
+
+        let mut tw = Vec::new();
+        let mut len = 1usize;
+        while len <= n {
+            if len < 4 {
+                tw.push([Vec::new(), Vec::new(), Vec::new(), Vec::new()]);
+            } else {
+                let quarter = len / 4;
+                let step = -2.0 * std::f64::consts::PI / len as f64;
+                let mut t = [
+                    Vec::with_capacity(quarter),
+                    Vec::with_capacity(quarter),
+                    Vec::with_capacity(quarter),
+                    Vec::with_capacity(quarter),
+                ];
+                for j in 0..quarter {
+                    let (s1, c1) = (step * j as f64).sin_cos();
+                    let (s3, c3) = (step * (3 * j) as f64).sin_cos();
+                    t[0].push(c1);
+                    t[1].push(s1);
+                    t[2].push(c3);
+                    t[3].push(s3);
+                }
+                tw.push(t);
+            }
+            len <<= 1;
+        }
+
+        SplitRadixPlan { n, bit_rev, tw }
+    }
+
+    /// The transform length this plan serves.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// True for the degenerate length-zero plan (never constructed by
+    /// [`SplitRadixPlan::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// In-place forward transform (same convention as
+    /// [`crate::FftPlan::forward`]).
+    #[inline]
+    pub fn forward(&self, buf: &mut [Complex]) {
+        self.run::<true>(buf);
+    }
+
+    /// In-place unnormalised inverse transform (divide by `len()` for
+    /// the true inverse).
+    #[inline]
+    pub fn inverse(&self, buf: &mut [Complex]) {
+        self.run::<false>(buf);
+    }
+
+    /// In-place transform of `data` (length must equal the plan size).
+    pub fn process(&self, data: &mut [Complex], dir: Direction) {
+        match dir {
+            Direction::Forward => self.run::<true>(data),
+            Direction::Inverse => self.run::<false>(data),
+        }
+    }
+
+    fn run<const FWD: bool>(&self, data: &mut [Complex]) {
+        let n = self.n;
+        assert_eq!(data.len(), n, "plan is for length {n}, got {}", data.len());
+        if n <= 1 {
+            return;
+        }
+        self.rec::<FWD>(data);
+        for i in 1..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                data.swap(i, j);
+            }
+        }
+    }
+
+    /// Depth-first DIF recursion over one natural-order block.
+    fn rec<const FWD: bool>(&self, x: &mut [Complex]) {
+        let n = x.len();
+        if n == 2 {
+            let (u, v) = (x[0], x[1]);
+            x[0] = u + v;
+            x[1] = u - v;
+            return;
+        }
+        if n < 2 {
+            return;
+        }
+        let n4 = n / 4;
+        let [cc1, ss1, cc3, ss3] = &self.tw[n.trailing_zeros() as usize];
+        {
+            let (q01, q23) = x.split_at_mut(2 * n4);
+            let (q2, q3) = q23.split_at_mut(n4);
+            for j in 0..n4 {
+                let (s0, s1, z1, z3) = sr_core::<FWD>(
+                    q01[j],
+                    q01[j + n4],
+                    q2[j],
+                    q3[j],
+                    cc1[j],
+                    ss1[j],
+                    cc3[j],
+                    ss3[j],
+                );
+                q01[j] = s0;
+                q01[j + n4] = s1;
+                q2[j] = z1;
+                q3[j] = z3;
+            }
+        }
+        let (lo, hi) = x.split_at_mut(2 * n4);
+        let (q2, q3) = hi.split_at_mut(n4);
+        self.rec::<FWD>(lo);
+        self.rec::<FWD>(q2);
+        self.rec::<FWD>(q3);
+    }
+
+    /// Lane-parallel forward transform over a lane-interleaved buffer:
+    /// `data` holds `l` independent length-`n` signals with element `j`
+    /// of lane `v` at `data[j*l + v]`. Each lane's result is
+    /// bit-identical to [`forward`](Self::forward) of that lane alone —
+    /// both run [`sr_core`] in the same order per element — for *any*
+    /// `l`, which is what makes dispatching `l = lanes()` policy-legal
+    /// (DESIGN.md §16).
+    #[inline]
+    pub fn forward_lanes(&self, data: &mut [Complex], l: usize) {
+        self.run_lanes::<true>(data, l);
+    }
+
+    /// Lane-parallel unnormalised inverse; see
+    /// [`forward_lanes`](Self::forward_lanes).
+    #[inline]
+    pub fn inverse_lanes(&self, data: &mut [Complex], l: usize) {
+        self.run_lanes::<false>(data, l);
+    }
+
+    fn run_lanes<const FWD: bool>(&self, data: &mut [Complex], l: usize) {
+        let n = self.n;
+        assert!(l >= 1, "lane count must be at least 1");
+        assert_eq!(data.len(), n * l, "plan is for {n} x {l} lanes, got {}", data.len());
+        if n <= 1 {
+            return;
+        }
+        self.rec_lanes::<FWD>(data, l);
+        for i in 1..n {
+            let j = self.bit_rev[i] as usize;
+            if i < j {
+                for v in 0..l {
+                    data.swap(i * l + v, j * l + v);
+                }
+            }
+        }
+    }
+
+    fn rec_lanes<const FWD: bool>(&self, x: &mut [Complex], l: usize) {
+        let n = x.len() / l;
+        if n == 2 {
+            let (a, b) = x.split_at_mut(l);
+            for v in 0..l {
+                let (u, w) = (a[v], b[v]);
+                a[v] = u + w;
+                b[v] = u - w;
+            }
+            return;
+        }
+        if n < 2 {
+            return;
+        }
+        let n4 = n / 4;
+        let [cc1, ss1, cc3, ss3] = &self.tw[n.trailing_zeros() as usize];
+        {
+            let (q01, q23) = x.split_at_mut(2 * n4 * l);
+            let (q2, q3) = q23.split_at_mut(n4 * l);
+            for j in 0..n4 {
+                let (r1, i1, r3, i3) = (cc1[j], ss1[j], cc3[j], ss3[j]);
+                for v in 0..l {
+                    let idx = j * l + v;
+                    let (s0, s1, z1, z3) = sr_core::<FWD>(
+                        q01[idx],
+                        q01[idx + n4 * l],
+                        q2[idx],
+                        q3[idx],
+                        r1,
+                        i1,
+                        r3,
+                        i3,
+                    );
+                    q01[idx] = s0;
+                    q01[idx + n4 * l] = s1;
+                    q2[idx] = z1;
+                    q3[idx] = z3;
+                }
+            }
+        }
+        let (lo, hi) = x.split_at_mut(2 * n4 * l);
+        let (q2, q3) = hi.split_at_mut(n4 * l);
+        self.rec_lanes::<FWD>(lo, l);
+        self.rec_lanes::<FWD>(q2, l);
+        self.rec_lanes::<FWD>(q3, l);
+    }
+}
+
+/// The split-radix L-butterfly on *values* — the single source of
+/// butterfly arithmetic for the scalar and lane kernels above. Inputs
+/// are the four quarter elements at one `j`; outputs are the two sum
+/// slots and the two twiddled difference slots.
+#[expect(clippy::too_many_arguments, reason = "split re/im value hot path")]
+#[inline(always)]
+fn sr_core<const FWD: bool>(
+    a: Complex,
+    b: Complex,
+    c: Complex,
+    d: Complex,
+    r1: f64,
+    w1: f64,
+    r3: f64,
+    w3: f64,
+) -> (Complex, Complex, Complex, Complex) {
+    let (i1, i3) = if FWD { (w1, w3) } else { (-w1, -w3) };
+    let s0 = a + c;
+    let s1 = b + d;
+    let t_re = a.re - c.re;
+    let t_im = a.im - c.im;
+    let u_re = b.re - d.re;
+    let u_im = b.im - d.im;
+    // Forward: z1 = t − i·u, z3 = t + i·u; inverse swaps the pair.
+    let (z1_re, z1_im, z3_re, z3_im) = if FWD {
+        (t_re + u_im, t_im - u_re, t_re - u_im, t_im + u_re)
+    } else {
+        (t_re - u_im, t_im + u_re, t_re + u_im, t_im - u_re)
+    };
+    let o2 = Complex::new(z1_re * r1 - z1_im * i1, z1_re * i1 + z1_im * r1);
+    let o3 = Complex::new(z3_re * r3 - z3_im * i3, z3_re * i3 + z3_im * r3);
+    (s0, s1, o2, o3)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::reference_radix2;
+
+    fn assert_close_rel(a: &[Complex], b: &[Complex], tol: f64) {
+        assert_eq!(a.len(), b.len());
+        let scale = b.iter().map(|v| v.abs()).fold(1.0f64, f64::max);
+        for (x, y) in a.iter().zip(b) {
+            assert!((*x - *y).abs() <= tol * scale, "{x:?} vs {y:?} (scale {scale})");
+        }
+    }
+
+    fn signal(n: usize) -> Vec<Complex> {
+        (0..n)
+            .map(|i| Complex::new((i as f64 * 0.7).sin(), (i as f64 * 1.3).cos()))
+            .collect()
+    }
+
+    #[test]
+    fn matches_reference_for_all_small_sizes() {
+        for &n in &[1usize, 2, 4, 8, 16, 32, 64, 128, 256, 1024, 4096] {
+            let x = signal(n);
+            let plan = SplitRadixPlan::new(n);
+            for dir in [Direction::Forward, Direction::Inverse] {
+                let mut got = x.clone();
+                plan.process(&mut got, dir);
+                let mut want = x.clone();
+                reference_radix2(&mut want, dir);
+                assert_close_rel(&got, &want, 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn round_trip_recovers_signal() {
+        for &n in &[8usize, 64, 512] {
+            let x = signal(n);
+            let plan = SplitRadixPlan::new(n);
+            let mut y = x.clone();
+            plan.forward(&mut y);
+            plan.inverse(&mut y);
+            let inv = 1.0 / n as f64;
+            for (orig, got) in x.iter().zip(&y) {
+                assert!((*orig - got.scale(inv)).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn lanes_bit_identical_to_scalar() {
+        for &n in &[2usize, 4, 16, 128, 1024] {
+            for &l in &[1usize, 2, 3, 4, 8] {
+                let plan = SplitRadixPlan::new(n);
+                let lanes: Vec<Vec<Complex>> = (0..l)
+                    .map(|v| {
+                        (0..n)
+                            .map(|i| {
+                                Complex::new(
+                                    ((i * 7 + v * 13) as f64 * 0.37).sin(),
+                                    ((i * 3 + v * 5) as f64 * 0.91).cos(),
+                                )
+                            })
+                            .collect()
+                    })
+                    .collect();
+                let mut interleaved = vec![Complex::ZERO; n * l];
+                for (v, lane) in lanes.iter().enumerate() {
+                    for (j, &z) in lane.iter().enumerate() {
+                        interleaved[j * l + v] = z;
+                    }
+                }
+                for fwd in [true, false] {
+                    let mut batch = interleaved.clone();
+                    if fwd {
+                        plan.forward_lanes(&mut batch, l);
+                    } else {
+                        plan.inverse_lanes(&mut batch, l);
+                    }
+                    for (v, lane) in lanes.iter().enumerate() {
+                        let mut solo = lane.clone();
+                        if fwd {
+                            plan.forward(&mut solo);
+                        } else {
+                            plan.inverse(&mut solo);
+                        }
+                        for j in 0..n {
+                            assert_eq!(
+                                batch[j * l + v], solo[j],
+                                "n={n} l={l} fwd={fwd} lane {v} bin {j}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power-of-two")]
+    fn non_pow2_rejected() {
+        SplitRadixPlan::new(12);
+    }
+}

@@ -197,6 +197,191 @@ proptest! {
     }
 
     #[test]
+    fn lane_batched_fft_bit_identical_to_scalar(
+        logn in 0u32..10,
+        l in 1usize..9,
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1usize << 9),
+        dir_sel in 0u32..2,
+    ) {
+        // The §16 lane contract on the radix-4 plan: a lane-interleaved
+        // batch of l signals transforms bit-identically to l scalar
+        // transforms, for EVERY lane count — l covers 1..8, which
+        // subsumes the dispatched widths (VBR_SIMD_WIDTH ∈ {2,4,8})
+        // plus the ragged counts a remainder group uses.
+        let n = 1usize << logn;
+        let forward = dir_sel == 0;
+        let plan = plan_for(n);
+        let lanes: Vec<Vec<Complex>> = (0..l)
+            .map(|v| {
+                (0..n)
+                    .map(|j| {
+                        let (re, im) = raw[(j + 131 * v) % raw.len()];
+                        Complex::new(re, im)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut batch = vec![Complex::ZERO; n * l];
+        for (v, lane) in lanes.iter().enumerate() {
+            for (j, &z) in lane.iter().enumerate() {
+                batch[j * l + v] = z;
+            }
+        }
+        if forward {
+            plan.forward_lanes(&mut batch, l);
+        } else {
+            plan.inverse_lanes(&mut batch, l);
+        }
+        for (v, lane) in lanes.iter().enumerate() {
+            let mut solo = lane.clone();
+            if forward {
+                plan.forward(&mut solo);
+            } else {
+                plan.inverse(&mut solo);
+            }
+            for j in 0..n {
+                prop_assert_eq!(
+                    batch[j * l + v].re.to_bits(), solo[j].re.to_bits(),
+                    "n={} l={} fwd={} lane {} bin {} re", n, l, forward, v, j
+                );
+                prop_assert_eq!(
+                    batch[j * l + v].im.to_bits(), solo[j].im.to_bits(),
+                    "n={} l={} fwd={} lane {} bin {} im", n, l, forward, v, j
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn lane_batched_synthesis_bit_identical_to_scalar(
+        logn in 1u32..10,
+        l in 1usize..9,
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), (1usize << 8) + 1),
+    ) {
+        // The fused Davies–Harte hot kernel: lane-batched Hermitian
+        // synthesis must emit, per lane, the exact bits of the scalar
+        // synthesis of that lane's half-spectrum, at every lane count
+        // including the ragged ones (l not a power of two) and n = 2
+        // (block = 1 geometry, where the half plan is trivial).
+        let n = 1usize << logn;
+        let half = n / 2;
+        let plan = vbr_fft::real_plan_for(n);
+        let spectra: Vec<Vec<Complex>> = (0..l)
+            .map(|v| {
+                let mut hs: Vec<Complex> = (0..=half)
+                    .map(|k| {
+                        let (re, im) = raw[(k + 197 * v) % raw.len()];
+                        Complex::new(re, im)
+                    })
+                    .collect();
+                hs[0] = Complex::from_re(hs[0].re);
+                hs[half] = Complex::from_re(hs[half].re);
+                hs
+            })
+            .collect();
+        let mut interleaved = vec![Complex::ZERO; (half + 1) * l];
+        for (v, hs) in spectra.iter().enumerate() {
+            for (k, &z) in hs.iter().enumerate() {
+                interleaved[k * l + v] = z;
+            }
+        }
+        let (mut out, mut scratch) = (Vec::new(), Vec::new());
+        plan.synthesize_hermitian_lanes(&interleaved, &mut out, &mut scratch, l);
+        let (mut solo, mut solo_scratch) = (Vec::new(), Vec::new());
+        for (v, hs) in spectra.iter().enumerate() {
+            plan.synthesize_hermitian(hs, &mut solo, &mut solo_scratch);
+            for t in 0..n {
+                prop_assert_eq!(
+                    out[t * l + v].to_bits(), solo[t].to_bits(),
+                    "n={} l={} lane {} sample {}", n, l, v, t
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn split_radix_matches_radix2_reference(
+        logn in 0u32..12,
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1usize << 11),
+        dir_sel in 0u32..2,
+    ) {
+        // The split-radix DIF kernel against the same scalar oracle the
+        // radix-4 plan is proven against, both directions, every size.
+        let n = 1usize << logn;
+        let forward = dir_sel == 0;
+        let x: Vec<Complex> = raw
+            .into_iter()
+            .take(n)
+            .map(|(re, im)| Complex::new(re, im))
+            .collect();
+        let dir = if forward { Direction::Forward } else { Direction::Inverse };
+        let plan = vbr_fft::SplitRadixPlan::new(n);
+        let mut got = x.clone();
+        plan.process(&mut got, dir);
+        let mut want = x;
+        reference_radix2(&mut want, dir);
+        let scale = want.iter().map(|z| z.abs()).fold(1.0f64, f64::max);
+        for (k, (a, b)) in got.iter().zip(&want).enumerate() {
+            prop_assert!(
+                (*a - *b).abs() <= 1e-12 * scale,
+                "n={} fwd={} bin {}: {:?} vs {:?}", n, forward, k, a, b
+            );
+        }
+    }
+
+    #[test]
+    fn split_radix_lanes_bit_identical_to_scalar(
+        logn in 0u32..9,
+        l in 1usize..9,
+        raw in prop::collection::vec((-100.0f64..100.0, -100.0f64..100.0), 1usize << 8),
+        dir_sel in 0u32..2,
+    ) {
+        // Same §16 contract for the split-radix lane path.
+        let n = 1usize << logn;
+        let forward = dir_sel == 0;
+        let plan = vbr_fft::SplitRadixPlan::new(n);
+        let lanes: Vec<Vec<Complex>> = (0..l)
+            .map(|v| {
+                (0..n)
+                    .map(|j| {
+                        let (re, im) = raw[(j + 89 * v) % raw.len()];
+                        Complex::new(re, im)
+                    })
+                    .collect()
+            })
+            .collect();
+        let mut batch = vec![Complex::ZERO; n * l];
+        for (v, lane) in lanes.iter().enumerate() {
+            for (j, &z) in lane.iter().enumerate() {
+                batch[j * l + v] = z;
+            }
+        }
+        if forward {
+            plan.forward_lanes(&mut batch, l);
+        } else {
+            plan.inverse_lanes(&mut batch, l);
+        }
+        for (v, lane) in lanes.iter().enumerate() {
+            let mut solo = lane.clone();
+            if forward {
+                plan.forward(&mut solo);
+            } else {
+                plan.inverse(&mut solo);
+            }
+            for j in 0..n {
+                prop_assert_eq!(
+                    batch[j * l + v].re.to_bits(), solo[j].re.to_bits(),
+                    "split n={} l={} fwd={} lane {} bin {} re", n, l, forward, v, j
+                );
+                prop_assert_eq!(
+                    batch[j * l + v].im.to_bits(), solo[j].im.to_bits(),
+                    "split n={} l={} fwd={} lane {} bin {} im", n, l, forward, v, j
+                );
+            }
+        }
+    }
+
+    #[test]
     fn odd_length_real_input_through_bluestein(
         x in prop::collection::vec(-100.0f64..100.0, 3..41),
     ) {

@@ -34,13 +34,15 @@
 //! ```
 
 use crate::cache::{farima_circulant_spectrum_cached, fgn_circulant_spectrum_cached};
+use crate::davies_harte::{synthesise_real_lanes_into, LaneSynthScratch};
 use crate::error::FgnError;
 use crate::stream::{
-    check_geometry, next_block_source, prefix_exact_geometry, SourceState, StreamState,
-    WindowScratch,
+    check_geometry, next_block_source, prefix_exact_geometry, SharedSpectrum, SourceState,
+    StreamState, WindowScratch,
 };
 use std::sync::Arc;
 use vbr_fft::next_pow2;
+use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
 use vbr_stats::snapshot::SnapshotError;
 
@@ -56,11 +58,17 @@ pub struct BatchStream {
     overlap: usize,
     /// `None` is the degenerate `block == 1` white-noise path, exactly
     /// as in [`crate::CirculantStream`].
-    spectrum: Option<Arc<Vec<f64>>>,
+    spectrum: Option<SharedSpectrum>,
     sources: Vec<SourceState>,
     /// One synthesis workspace for the whole batch — fully overwritten
     /// by every refill, so sharing it cannot couple sources.
     scratch: WindowScratch,
+    /// Lane-parallel refill workspace of [`advance_rows`]
+    /// (`Self::advance_rows`): normal draws, interleaved half-spectra
+    /// and window samples for up to `lanes()` sources at a time.
+    lane_scratch: LaneSynthScratch,
+    /// Lane-interleaved window samples of the current refill cohort.
+    lane_buf: Vec<f64>,
 }
 
 impl BatchStream {
@@ -78,7 +86,16 @@ impl BatchStream {
             .iter()
             .map(|&s| SourceState::new(Xoshiro256::seed_from_u64(s), block, overlap))
             .collect();
-        BatchStream { sd, block, overlap, spectrum, sources, scratch: WindowScratch::default() }
+        BatchStream {
+            sd,
+            block,
+            overlap,
+            spectrum: spectrum.map(|l| SharedSpectrum::new(&l)),
+            sources,
+            scratch: WindowScratch::default(),
+            lane_scratch: LaneSynthScratch::default(),
+            lane_buf: Vec::new(),
+        }
     }
 
     /// Number of sources in the batch.
@@ -124,7 +141,7 @@ impl BatchStream {
     /// path). This is the batch's *total* spectrum footprint — shared,
     /// not per source.
     pub fn circulant_len(&self) -> usize {
-        self.spectrum.as_ref().map_or(0, |l| l.len())
+        self.spectrum.as_ref().map_or(0, |sp| sp.m())
     }
 
     /// Fills `out` with the next `out.len()` samples of source
@@ -133,7 +150,7 @@ impl BatchStream {
     /// sequences. Panics if `source ≥ self.sources()`.
     pub fn next_block(&mut self, source: usize, out: &mut [f64]) {
         next_block_source(
-            self.spectrum.as_deref().map(|l| &l[..]),
+            self.spectrum.as_ref(),
             self.sd,
             self.block,
             self.overlap,
@@ -149,6 +166,129 @@ impl BatchStream {
         assert_eq!(outs.len(), self.sources.len(), "one output slice per source");
         for (i, out) in outs.iter_mut().enumerate() {
             self.next_block(i, out);
+        }
+    }
+
+    /// Lockstep advance of many sources in one call: for every `(source,
+    /// row)` pair, fills `buf[row*len .. (row+1)*len]` with the next
+    /// `len` samples of that source. Rows must reference distinct
+    /// sources; row indices address the caller's slot buffer and need
+    /// not be contiguous or ordered.
+    ///
+    /// This is the fleet hot path. Sources that are due a whole-window
+    /// refill (the steady state of a lockstep fleet, where every group
+    /// member sits at the same window position) are refilled in cohorts
+    /// of [`vbr_fft::lanes`] through the lane-parallel synthesis kernel
+    /// — one batched normal draw, one lane FFT and one strided seam
+    /// blend per cohort instead of a full scalar pipeline per source.
+    /// Sources mid-window, cohort remainders (`< lanes()`), white-noise
+    /// groups and `len > block` all take the scalar per-source path.
+    /// Both paths are draw-for-draw bit-identical, so callers cannot
+    /// observe which one ran (the lane-batching policy of DESIGN.md
+    /// §16).
+    pub fn advance_rows(&mut self, len: usize, buf: &mut [f64], rows: &[(usize, usize)]) {
+        if len == 0 {
+            return;
+        }
+        debug_assert!(
+            {
+                let mut seen = vec![false; self.sources.len()];
+                rows.iter().all(|&(s, _)| !std::mem::replace(&mut seen[s], true))
+            },
+            "advance_rows requires distinct sources"
+        );
+        let Some(sp) = self.spectrum.clone() else {
+            for &(s, r) in rows {
+                self.next_block(s, &mut buf[r * len..(r + 1) * len]);
+            }
+            return;
+        };
+        // Partition once: a source is cohort-eligible when this advance
+        // is exactly "refill one window, then copy" — the emit loop
+        // degenerates to a single refill precisely when the window is
+        // exhausted and `len` fits inside a fresh one.
+        let mut pending: Vec<(usize, usize)> = Vec::with_capacity(rows.len());
+        for &(s, r) in rows {
+            let st = &self.sources[s];
+            if st.pos >= st.cur.len() && len <= self.block {
+                pending.push((s, r));
+            } else {
+                self.next_block(s, &mut buf[r * len..(r + 1) * len]);
+            }
+        }
+        let k = vbr_fft::lanes();
+        let mut done = 0;
+        while done + k <= pending.len() {
+            self.refill_cohort(&sp, &pending[done..done + k]);
+            done += k;
+        }
+        for &(s, _) in &pending[done..] {
+            // Remainder refills scalar — bit-identical by contract.
+            crate::stream::refill_source(
+                Some(&sp),
+                self.sd,
+                self.block,
+                self.overlap,
+                &mut self.sources[s],
+                &mut self.scratch,
+            );
+        }
+        for &(s, r) in &pending {
+            let st = &mut self.sources[s];
+            buf[r * len..(r + 1) * len].copy_from_slice(&st.cur[..len]);
+            st.pos = len;
+        }
+    }
+
+    /// Refills one cohort of sources through the lane-parallel synthesis
+    /// kernel: each source draws its own window of normals (own RNG, the
+    /// contract order), all windows transform in one lane FFT, and each
+    /// source's window/seam buffers are rebuilt with the exact
+    /// expressions of the scalar refill — so each source's state ends up
+    /// bit-identical to a scalar refill from the same RNG state.
+    fn refill_cohort(&mut self, sp: &SharedSpectrum, cohort: &[(usize, usize)]) {
+        let _span = obs::span("fgn.stream_refill");
+        obs::counter_add(Counter::StreamBlocks, cohort.len() as u64);
+        let k = cohort.len();
+        let m = sp.m();
+        let gauss = self.lane_scratch.gauss_rows(m, k);
+        // Each source draws its uniforms from its own generator (so
+        // per-source draw accounting matches the scalar path exactly),
+        // then one quantile pass covers the whole m×k buffer: the
+        // transform is elementwise, so batching across sources is
+        // bit-identical to per-source `fill_standard_normal` while
+        // amortising the kernel's per-call setup over the cohort.
+        for (v, &(s, _)) in cohort.iter().enumerate() {
+            self.sources[s].rng.fill_open01(&mut gauss[v * m..(v + 1) * m]);
+        }
+        vbr_stats::special::norm_quantile_slice(gauss);
+        synthesise_real_lanes_into(
+            &sp.scales,
+            &sp.plan,
+            k,
+            &mut self.lane_scratch,
+            &mut self.lane_buf,
+        );
+        let (b, l) = (self.block, self.overlap);
+        let sd = self.sd;
+        let win = &self.lane_buf; // sample t of lane v at win[t*k + v]
+        for (v, &(s, _)) in cohort.iter().enumerate() {
+            let st = &mut self.sources[s];
+            st.pos = 0;
+            st.cur.clear();
+            st.cur.extend((0..b).map(|t| win[t * k + v] * sd));
+            if st.started {
+                if l > 0 {
+                    obs::counter_add(Counter::SeamCrossFades, 1);
+                }
+                for i in 0..l {
+                    let a = (i + 1) as f64 / (l + 1) as f64;
+                    st.cur[i] = (1.0 - a).sqrt() * st.tail[i] + a.sqrt() * st.cur[i];
+                }
+            }
+            st.tail.clear();
+            st.tail.extend((b..b + l).map(|t| win[t * k + v] * sd));
+            st.started = true;
         }
     }
 
@@ -284,6 +424,12 @@ impl BatchFgn {
         self.0.next_blocks(outs);
     }
 
+    /// Lockstep lane-batched advance of many sources; see
+    /// [`BatchStream::advance_rows`].
+    pub fn advance_rows(&mut self, len: usize, buf: &mut [f64], rows: &[(usize, usize)]) {
+        self.0.advance_rows(len, buf, rows);
+    }
+
     /// Per-source checkpoint export; see [`BatchStream::export_state`].
     pub fn export_state(&self, source: usize) -> StreamState {
         self.0.export_state(source)
@@ -408,6 +554,12 @@ impl BatchFarima {
     /// One chunk per source; see [`BatchStream::next_blocks`].
     pub fn next_blocks(&mut self, outs: &mut [&mut [f64]]) {
         self.0.next_blocks(outs);
+    }
+
+    /// Lockstep lane-batched advance of many sources; see
+    /// [`BatchStream::advance_rows`].
+    pub fn advance_rows(&mut self, len: usize, buf: &mut [f64], rows: &[(usize, usize)]) {
+        self.0.advance_rows(len, buf, rows);
     }
 
     /// Per-source checkpoint export.

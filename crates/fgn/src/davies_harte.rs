@@ -8,7 +8,7 @@
 //! covariance.
 
 use crate::error::FgnError;
-use vbr_fft::{fft_pow2_in_place, next_pow2, real_plan_for, Complex, Direction};
+use vbr_fft::{fft_pow2_in_place, next_pow2, real_plan_for, Complex, Direction, RealFftPlan};
 use vbr_stats::rng::Xoshiro256;
 
 /// Relative tolerance below which a negative circulant eigenvalue is
@@ -174,6 +174,43 @@ fn synthesise_from_spectrum(
     out
 }
 
+/// Precomputed per-bin amplitudes of the circulant half-spectrum draw:
+/// `s0 = √(λ₀/m)`, `sh = √(λ_{m/2}/m)` and `sk[k−1] = √(λ_k/2m)` for the
+/// conjugate pairs `k = 1..m/2`.
+///
+/// These are exactly the expressions the synthesis core used to evaluate
+/// per window; hoisting them to construction time removes `m/2 + 1`
+/// divisions and square roots from every refill without changing a bit
+/// of output (the stored values are the same f64s the inline expressions
+/// produced).
+#[derive(Debug, Clone)]
+pub(crate) struct SpectrumScales {
+    m: usize,
+    s0: f64,
+    sh: f64,
+    sk: Vec<f64>,
+}
+
+impl SpectrumScales {
+    /// Builds the amplitude table for eigenvalues `lambda` (length `m`).
+    pub(crate) fn new(lambda: &[f64]) -> Self {
+        let m = lambda.len();
+        let half = m / 2;
+        let mf = m as f64;
+        SpectrumScales {
+            m,
+            s0: (lambda[0] / mf).sqrt(),
+            sh: (lambda[half] / mf).sqrt(),
+            sk: (1..half).map(|k| (lambda[k] / (2.0 * mf)).sqrt()).collect(),
+        }
+    }
+
+    /// Circulant length `m` the table was built for.
+    pub(crate) fn m(&self) -> usize {
+        self.m
+    }
+}
+
 /// Reusable workspace of the real synthesis core: the Hermitian
 /// half-spectrum (`m/2 + 1` complex bins) and the half-length complex
 /// FFT scratch. Streaming and batch callers keep one of these per
@@ -222,23 +259,114 @@ pub(crate) fn synthesise_real_into(
     out: &mut Vec<f64>,
 ) {
     let m = lambda.len();
+    let scales = SpectrumScales::new(lambda);
+    synthesise_real_with(&scales, &real_plan_for(m), rng, scratch, out);
+}
+
+/// Hot-loop variant of [`synthesise_real_into`]: the caller holds the
+/// amplitude table and the FFT plan across windows, so a refill does no
+/// plan-cache lookup (a mutex acquisition), no eigenvalue arithmetic and
+/// no allocation. Output is bit-identical to [`synthesise_real_into`].
+pub(crate) fn synthesise_real_with(
+    scales: &SpectrumScales,
+    plan: &RealFftPlan,
+    rng: &mut Xoshiro256,
+    scratch: &mut SynthScratch,
+    out: &mut Vec<f64>,
+) {
+    let m = scales.m;
     let half = m / 2;
     // Synthesise W with E|W_k|² = λ_k/m and (implicit) Hermitian
     // symmetry so that the FFT comes out real with the target covariance.
-    scratch.half.clear();
-    scratch.half.resize(half + 1, Complex::ZERO);
-    scratch.gauss.clear();
-    scratch.gauss.resize(m, 0.0);
+    // Scratch is resized only when the geometry changes; in steady state
+    // every element is overwritten below, so no clear/re-zero pass runs.
+    if scratch.half.len() != half + 1 {
+        scratch.half.clear();
+        scratch.half.resize(half + 1, Complex::ZERO);
+    }
+    if scratch.gauss.len() != m {
+        scratch.gauss.clear();
+        scratch.gauss.resize(m, 0.0);
+    }
     rng.fill_standard_normal(&mut scratch.gauss);
     let gauss = &scratch.gauss;
-    let mf = m as f64;
-    scratch.half[0] = Complex::from_re((lambda[0] / mf).sqrt() * gauss[0]);
-    scratch.half[half] = Complex::from_re((lambda[half] / mf).sqrt() * gauss[1]);
+    scratch.half[0] = Complex::from_re(scales.s0 * gauss[0]);
+    scratch.half[half] = Complex::from_re(scales.sh * gauss[1]);
     for k in 1..half {
-        let scale = (lambda[k] / (2.0 * mf)).sqrt();
+        let scale = scales.sk[k - 1];
         scratch.half[k] = Complex::new(scale * gauss[2 * k], scale * gauss[2 * k + 1]);
     }
-    real_plan_for(m).synthesize_hermitian(&scratch.half, out, &mut scratch.fft);
+    plan.synthesize_hermitian(&scratch.half, out, &mut scratch.fft);
+}
+
+/// Reusable workspace of the lane-parallel synthesis core: the
+/// lane-interleaved half-spectrum and FFT scratch shared by all `l`
+/// windows of a batch, plus the row-major normal-draw buffer.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct LaneSynthScratch {
+    /// Lane-interleaved half-spectra: bin `k` of window `v` at `[k*l + v]`.
+    half: Vec<Complex>,
+    /// Lane-interleaved workspace of the half-length complex FFT.
+    fft: Vec<Complex>,
+    /// Row-major normal draws: window `v`'s `m` contract-order draws at
+    /// `[v*m .. (v+1)*m]`.
+    pub(crate) gauss: Vec<f64>,
+}
+
+impl LaneSynthScratch {
+    /// Resizes the gauss buffer for `l` rows of `m` draws each and
+    /// returns it for the caller to fill (one RNG per row for batch
+    /// cohorts, one RNG sequentially for solo prefetch).
+    pub(crate) fn gauss_rows(&mut self, m: usize, l: usize) -> &mut [f64] {
+        if self.gauss.len() != m * l {
+            self.gauss.clear();
+            self.gauss.resize(m * l, 0.0);
+        }
+        &mut self.gauss
+    }
+}
+
+/// Lane-parallel synthesis core: `l` circulant windows synthesised at
+/// once, one per lane, from `l` rows of pre-drawn normals
+/// (`scratch.gauss[v*m .. (v+1)*m]` holds window `v`'s draws in the
+/// contract order). `out` is lane-interleaved: sample `t` of window `v`
+/// at `out[t*l + v]`.
+///
+/// Per lane this evaluates exactly the expressions of
+/// [`synthesise_real_with`] — the same precomputed amplitudes against
+/// the same draws, then the lane FFT whose per-lane bit-identity is
+/// proven in `vbr-fft` — so window `v`'s samples are bit-identical to a
+/// scalar synthesis from the same draws. That equivalence is what lets
+/// the streaming and fleet layers batch `l = lanes()` windows under the
+/// bit-invisible-dispatch policy.
+pub(crate) fn synthesise_real_lanes_into(
+    scales: &SpectrumScales,
+    plan: &RealFftPlan,
+    l: usize,
+    scratch: &mut LaneSynthScratch,
+    out: &mut Vec<f64>,
+) {
+    let m = scales.m;
+    let half = m / 2;
+    debug_assert_eq!(scratch.gauss.len(), m * l);
+    if scratch.half.len() != (half + 1) * l {
+        scratch.half.clear();
+        scratch.half.resize((half + 1) * l, Complex::ZERO);
+    }
+    for v in 0..l {
+        let row = &scratch.gauss[v * m..(v + 1) * m];
+        scratch.half[v] = Complex::from_re(scales.s0 * row[0]);
+        scratch.half[half * l + v] = Complex::from_re(scales.sh * row[1]);
+    }
+    for k in 1..half {
+        let scale = scales.sk[k - 1];
+        for v in 0..l {
+            let row = &scratch.gauss[v * m..(v + 1) * m];
+            scratch.half[k * l + v] =
+                Complex::new(scale * row[2 * k], scale * row[2 * k + 1]);
+        }
+    }
+    plan.synthesize_hermitian_lanes(&scratch.half, out, &mut scratch.fft, l);
 }
 
 /// Fractional Brownian motion path: the cumulative sum of fGn,

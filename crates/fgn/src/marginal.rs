@@ -271,10 +271,28 @@ impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
     /// Fallible [`map_series`](Self::map_series): typed refusal on any
     /// non-finite input or output sample.
     pub fn try_map_series(&self, xs: &[f64]) -> Result<Vec<f64>, crate::error::FgnError> {
-        vbr_stats::error::check_all_finite(xs)?;
-        let out = self.map_series(xs);
-        vbr_stats::error::check_all_finite(&out)?;
+        let mut out = Vec::new();
+        self.try_map_series_into(xs, &mut out)?;
         Ok(out)
+    }
+
+    /// [`try_map_series`](Self::try_map_series) into a caller-owned
+    /// buffer — the fallible twin of
+    /// [`map_series_into`](Self::map_series_into). Repeat calls at one
+    /// length allocate nothing, so a fit/refit loop that re-transforms
+    /// candidate series every iteration holds a single scratch vector
+    /// instead of allocating two full-length buffers per call. On
+    /// error, `out` holds the untransformed (or offending transformed)
+    /// samples for diagnosis.
+    pub fn try_map_series_into(
+        &self,
+        xs: &[f64],
+        out: &mut Vec<f64>,
+    ) -> Result<(), crate::error::FgnError> {
+        vbr_stats::error::check_all_finite(xs)?;
+        self.map_series_into(xs, out);
+        vbr_stats::error::check_all_finite(out)?;
+        Ok(())
     }
 
     /// The largest value the transform can produce (table mode truncates

@@ -43,10 +43,13 @@
 //! far the seam error reaches.
 
 use crate::cache::{farima_circulant_spectrum_cached, fgn_circulant_spectrum_cached};
-use crate::davies_harte::{synthesise_real_into, SynthScratch};
+use crate::davies_harte::{
+    synthesise_real_into, synthesise_real_lanes_into, synthesise_real_with, LaneSynthScratch,
+    SpectrumScales, SynthScratch,
+};
 use crate::error::FgnError;
 use std::sync::Arc;
-use vbr_fft::next_pow2;
+use vbr_fft::{next_pow2, real_plan_for, RealFftPlan};
 use vbr_stats::obs::{self, Counter};
 use vbr_stats::rng::Xoshiro256;
 use vbr_stats::snapshot::{Payload, Section, SnapshotError};
@@ -187,13 +190,66 @@ pub(crate) struct WindowScratch {
     pub(crate) win: Vec<f64>,
 }
 
+/// Everything a refill needs that is a pure function of the circulant
+/// spectrum: the precomputed per-bin amplitudes and the real-FFT plan.
+/// Built once at stream construction, shared (`Arc`) across a batch
+/// group, so the hot loop never touches the plan cache's mutex or
+/// recomputes `√(λ_k/2m)`.
+#[derive(Debug, Clone)]
+pub(crate) struct SharedSpectrum {
+    pub(crate) scales: Arc<SpectrumScales>,
+    pub(crate) plan: Arc<RealFftPlan>,
+}
+
+impl SharedSpectrum {
+    pub(crate) fn new(lambda: &[f64]) -> Self {
+        SharedSpectrum {
+            scales: Arc::new(SpectrumScales::new(lambda)),
+            plan: real_plan_for(lambda.len()),
+        }
+    }
+
+    /// Circulant transform length `m`.
+    pub(crate) fn m(&self) -> usize {
+        self.scales.m()
+    }
+}
+
+/// Window lookahead of a solo stream: `k = lanes()` future circulant
+/// windows synthesised in one lane-parallel pass, then consumed one per
+/// refill. The RNG state snapshot taken after each window's draws is
+/// grafted back on consumption, so export/restore observes exactly the
+/// scalar stream's state at every point — lookahead is invisible to the
+/// checkpoint format and to every emitted bit (window `w`'s samples
+/// depend only on window `w`'s draws, and the lane FFT is bit-identical
+/// per lane).
+#[derive(Debug, Clone, Default)]
+struct Prefetch {
+    /// Lane-interleaved window samples at unit scale: sample `t` of
+    /// window `w` at `buf[t*k + w]`.
+    buf: Vec<f64>,
+    /// Windows per lookahead batch (`lanes()` at synthesis time).
+    k: usize,
+    /// Next unconsumed window; `next >= k` means the lookahead is empty.
+    next: usize,
+    /// RNG state after each window's `m` draws.
+    rng_after: Vec<Xoshiro256>,
+    scratch: LaneSynthScratch,
+}
+
+impl Prefetch {
+    fn clear(&mut self) {
+        self.next = self.k;
+    }
+}
+
 /// Synthesises the next window of one source, cross-fading the seam.
 /// This is the engine step shared verbatim by [`CirculantStream`] and
 /// the batch engine — one source's refill depends only on its own
 /// [`SourceState`], so interleaving sources over a shared scratch
 /// cannot change any output bit.
 pub(crate) fn refill_source(
-    spectrum: Option<&[f64]>,
+    spectrum: Option<&SharedSpectrum>,
     sd: f64,
     block: usize,
     overlap: usize,
@@ -215,7 +271,13 @@ pub(crate) fn refill_source(
         }
         return;
     };
-    synthesise_real_into(spectrum, &mut st.rng, &mut scratch.synth, &mut scratch.win);
+    synthesise_real_with(
+        &spectrum.scales,
+        &spectrum.plan,
+        &mut st.rng,
+        &mut scratch.synth,
+        &mut scratch.win,
+    );
     let (b, l) = (block, overlap);
     st.cur.clear();
     st.cur.extend(scratch.win[..b].iter().map(|x| x * sd));
@@ -240,7 +302,7 @@ pub(crate) fn refill_source(
 /// chunked emit loop shared by [`CirculantStream::next_block`] and the
 /// batch engine.
 pub(crate) fn next_block_source(
-    spectrum: Option<&[f64]>,
+    spectrum: Option<&SharedSpectrum>,
     sd: f64,
     block: usize,
     overlap: usize,
@@ -274,9 +336,13 @@ pub struct CirculantStream {
     /// `None` is the degenerate `block == 1` white-noise path (matching
     /// the batch generators' `n == 1` special case, where the circulant
     /// machinery is bypassed entirely).
-    spectrum: Option<Arc<Vec<f64>>>,
+    spectrum: Option<SharedSpectrum>,
     state: SourceState,
     scratch: WindowScratch,
+    /// Lane-parallel window lookahead (spectrum streams only). Costs
+    /// `O(lanes() · m)` extra floats per stream — the one place the
+    /// engine trades memory for lane parallelism on a solo source.
+    prefetch: Prefetch,
 }
 
 impl CirculantStream {
@@ -298,9 +364,10 @@ impl CirculantStream {
             sd,
             block,
             overlap,
-            spectrum,
+            spectrum: spectrum.map(|l| SharedSpectrum::new(&l)),
             state: SourceState::new(rng, block, overlap),
             scratch: WindowScratch::default(),
+            prefetch: Prefetch::default(),
         }
     }
 
@@ -317,22 +384,95 @@ impl CirculantStream {
     /// Circulant transform length per window (`0` on the white-noise
     /// path) — the memory scale of the stream.
     pub fn circulant_len(&self) -> usize {
-        self.spectrum.as_ref().map_or(0, |l| l.len())
+        self.spectrum.as_ref().map_or(0, |sp| sp.m())
+    }
+
+    /// Synthesises the next window, consuming the lane-parallel
+    /// lookahead (and refilling it `lanes()` windows at a time) on the
+    /// spectrum path. Emitted bits and the externally visible state
+    /// (RNG position, window, tail) are identical to the scalar
+    /// [`refill_source`] at every refill — see [`Prefetch`].
+    fn refill(&mut self) {
+        let Some(sp) = &self.spectrum else {
+            refill_source(
+                None,
+                self.sd,
+                self.block,
+                self.overlap,
+                &mut self.state,
+                &mut self.scratch,
+            );
+            return;
+        };
+        let _span = obs::span("fgn.stream_refill");
+        obs::counter_add(Counter::StreamBlocks, 1);
+        let st = &mut self.state;
+        let pf = &mut self.prefetch;
+        st.pos = 0;
+        let m = sp.m();
+        if pf.next >= pf.k {
+            // Synthesise the next `lanes()` windows in one pass. Draws
+            // are sequential per window in the contract order, so the
+            // RNG stream is exactly the scalar stream's whatever `k` is.
+            pf.k = vbr_fft::lanes();
+            pf.rng_after.clear();
+            let gauss = pf.scratch.gauss_rows(m, pf.k);
+            for w in 0..pf.k {
+                // Uniforms only here; the RNG snapshot is taken at the
+                // same stream position either way since the quantile
+                // transform consumes no draws. One elementwise quantile
+                // pass below then covers all k windows — bit-identical
+                // to per-window `fill_standard_normal`, with the
+                // kernel's setup cost amortised over the prefetch.
+                st.rng.fill_open01(&mut gauss[w * m..(w + 1) * m]);
+                pf.rng_after.push(st.rng.clone());
+            }
+            vbr_stats::special::norm_quantile_slice(gauss);
+            synthesise_real_lanes_into(&sp.scales, &sp.plan, pf.k, &mut pf.scratch, &mut pf.buf);
+            pf.next = 0;
+        }
+        let (w, k) = (pf.next, pf.k);
+        let (b, l) = (self.block, self.overlap);
+        let sd = self.sd;
+        // Sample `t` of window `w` lives at `buf[t*k + w]`; the strided
+        // reads below apply the very expressions of the scalar refill.
+        let win = &pf.buf;
+        st.cur.clear();
+        st.cur.extend((0..b).map(|t| win[t * k + w] * sd));
+        if st.started {
+            if l > 0 {
+                obs::counter_add(Counter::SeamCrossFades, 1);
+            }
+            for i in 0..l {
+                let a = (i + 1) as f64 / (l + 1) as f64;
+                st.cur[i] = (1.0 - a).sqrt() * st.tail[i] + a.sqrt() * st.cur[i];
+            }
+        }
+        st.tail.clear();
+        st.tail.extend((b..b + l).map(|t| win[t * k + w] * sd));
+        st.started = true;
+        // Graft back the post-window RNG snapshot: the stream's state is
+        // now indistinguishable from having synthesised windows one at a
+        // time (export/restore relies on this).
+        st.rng = pf.rng_after[w].clone();
+        pf.next += 1;
     }
 
     /// Fills `out` with the next `out.len()` samples of the stream —
     /// the chunked equivalent of calling [`Iterator::next`] in a loop,
     /// without per-sample dispatch.
     pub fn next_block(&mut self, out: &mut [f64]) {
-        next_block_source(
-            self.spectrum.as_deref().map(|l| &l[..]),
-            self.sd,
-            self.block,
-            self.overlap,
-            &mut self.state,
-            &mut self.scratch,
-            out,
-        );
+        let mut filled = 0;
+        while filled < out.len() {
+            if self.state.pos >= self.state.cur.len() {
+                self.refill();
+            }
+            let st = &mut self.state;
+            let take = (out.len() - filled).min(st.cur.len() - st.pos);
+            out[filled..filled + take].copy_from_slice(&st.cur[st.pos..st.pos + take]);
+            st.pos += take;
+            filled += take;
+        }
     }
 }
 
@@ -341,14 +481,7 @@ impl Iterator for CirculantStream {
 
     fn next(&mut self) -> Option<f64> {
         if self.state.pos >= self.state.cur.len() {
-            refill_source(
-                self.spectrum.as_deref().map(|l| &l[..]),
-                self.sd,
-                self.block,
-                self.overlap,
-                &mut self.state,
-                &mut self.scratch,
-            );
+            self.refill();
         }
         let v = self.state.cur[self.state.pos];
         self.state.pos += 1;
@@ -434,7 +567,11 @@ impl CirculantStream {
     /// must lie within the window, all samples must be finite, and the
     /// RNG state must not be the degenerate all-zero word.
     pub fn restore_state(&mut self, st: &StreamState) -> Result<(), SnapshotError> {
-        self.state.restore(st, self.block, self.overlap, self.spectrum.is_none())
+        self.state.restore(st, self.block, self.overlap, self.spectrum.is_none())?;
+        // The lookahead was synthesised from the pre-restore RNG stream;
+        // drop it so the next refill draws from the restored state.
+        self.prefetch.clear();
+        Ok(())
     }
 }
 

@@ -48,10 +48,10 @@ impl BatchKind {
         }
     }
 
-    fn next_block(&mut self, source: usize, out: &mut [f64]) {
+    fn advance_rows(&mut self, len: usize, buf: &mut [f64], rows: &[(usize, usize)]) {
         match self {
-            BatchKind::Fgn(b) => b.next_block(source, out),
-            BatchKind::Farima(b) => b.next_block(source, out),
+            BatchKind::Fgn(b) => b.advance_rows(len, buf, rows),
+            BatchKind::Farima(b) => b.advance_rows(len, buf, rows),
         }
     }
 
@@ -101,6 +101,10 @@ pub struct Shard {
     /// `layout.len() × slot_len` samples, row per source.
     slot_buf: Vec<f64>,
     slot_len: usize,
+    /// Per-group `(source, row)` work lists of `advance_slot`, kept
+    /// across ticks to avoid per-tick allocation. Pure scratch — rebuilt
+    /// from `layout` on every advance.
+    group_rows: Vec<Vec<(usize, usize)>>,
     /// Wall-clock nanoseconds of the last `advance_slot` (SLO only —
     /// written, never read back into any generation path).
     pub(crate) last_advance_nanos: u64,
@@ -114,6 +118,7 @@ impl Shard {
             layout: Vec::new(),
             slot_buf: Vec::new(),
             slot_len,
+            group_rows: Vec::new(),
             last_advance_nanos: 0,
         }
     }
@@ -153,12 +158,30 @@ impl Shard {
     /// Advances every source by one slice-slot, rendering `slot_len`
     /// samples per source into the slot buffer. Pure generation — no
     /// cross-shard reads, no aggregation.
+    ///
+    /// Rows are bucketed by batch group and each group advanced in one
+    /// lockstep [`advance_rows`](vbr_fgn::BatchFgn::advance_rows) call,
+    /// so the steady state runs lane-batched refills straight into the
+    /// slot buffer instead of a full per-source pipeline walk. Output
+    /// bits per source are identical to per-source `next_block` calls
+    /// (the batch engine's contract), so the slot buffer — and hence
+    /// aggregation, which reads it in registry order — is unchanged.
     pub(crate) fn advance_slot(&mut self) {
         let l = self.slot_len;
-        for (i, &(g, s)) in self.layout.iter().enumerate() {
-            let out = &mut self.slot_buf[i * l..(i + 1) * l];
-            self.groups[g as usize].batch.next_block(s as usize, out);
+        let mut group_rows = std::mem::take(&mut self.group_rows);
+        group_rows.resize(self.groups.len(), Vec::new());
+        for rows in &mut group_rows {
+            rows.clear();
         }
+        for (i, &(g, s)) in self.layout.iter().enumerate() {
+            group_rows[g as usize].push((s as usize, i));
+        }
+        for (g, rows) in group_rows.iter().enumerate() {
+            if !rows.is_empty() {
+                self.groups[g].batch.advance_rows(l, &mut self.slot_buf, rows);
+            }
+        }
+        self.group_rows = group_rows;
     }
 
     /// The samples source `local` rendered in the current slot.

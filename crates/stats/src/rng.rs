@@ -88,10 +88,23 @@ impl Xoshiro256 {
     /// loop and the quantile transform runs as the vectorizable slice
     /// kernel [`crate::special::norm_quantile_slice`].
     pub fn fill_standard_normal(&mut self, out: &mut [f64]) {
+        self.fill_open01(out);
+        crate::special::norm_quantile_slice(out);
+    }
+
+    /// Fills `out` with open-interval uniforms — the draw half of
+    /// [`fill_standard_normal`](Self::fill_standard_normal), split out
+    /// so multi-source cohorts can draw each source's uniforms from its
+    /// own generator and then run *one* quantile pass over the
+    /// concatenation. Because the quantile transform is elementwise,
+    /// `fill_open01` on each segment followed by a single
+    /// [`crate::special::norm_quantile_slice`] over the whole buffer is
+    /// bit-identical to calling `fill_standard_normal` per segment.
+    #[inline]
+    pub fn fill_open01(&mut self, out: &mut [f64]) {
         for x in out.iter_mut() {
             *x = self.open01();
         }
-        crate::special::norm_quantile_slice(out);
     }
 
     /// The full 256-bit generator state, for checkpoint/restore. A

@@ -250,17 +250,29 @@ const PPND_CENTRAL: f64 = 0.425;
 /// (denominator's leading coefficient is an implicit 1).
 #[inline(always)]
 fn ppnd_ratio(r: f64, num: &[f64; 8], den: &[f64; 7]) -> f64 {
-    let n = ((((((num[7] * r + num[6]) * r + num[5]) * r + num[4]) * r + num[3]) * r + num[2])
-        * r
+    horner8(r, num) / horner7_monic(r, den)
+}
+
+/// Degree-7 Horner numerator of the AS 241 ratio — split out so the
+/// batch kernel can evaluate numerator and denominator in separate
+/// vectorizable passes while sharing the exact expression (and bits)
+/// with the scalar path.
+#[inline(always)]
+fn horner8(r: f64, num: &[f64; 8]) -> f64 {
+    ((((((num[7] * r + num[6]) * r + num[5]) * r + num[4]) * r + num[3]) * r + num[2]) * r
         + num[1])
         * r
-        + num[0];
-    let d = ((((((den[6] * r + den[5]) * r + den[4]) * r + den[3]) * r + den[2]) * r + den[1])
-        * r
+        + num[0]
+}
+
+/// Monic degree-7 Horner denominator of the AS 241 ratio (leading
+/// coefficient is an implicit 1).
+#[inline(always)]
+fn horner7_monic(r: f64, den: &[f64; 7]) -> f64 {
+    ((((((den[6] * r + den[5]) * r + den[4]) * r + den[3]) * r + den[2]) * r + den[1]) * r
         + den[0])
         * r
-        + 1.0;
-    n / d
+        + 1.0
 }
 
 /// Central-region evaluation, valid for `q = p − ½` with `|q| ≤ 0.425`.
@@ -273,11 +285,72 @@ fn norm_quantile_central(q: f64) -> f64 {
     q * ppnd_ratio(r, &PPND_A, &PPND_B)
 }
 
+// Two-term Cody–Waite split of ln 2 (fdlibm): `LN2_HI` carries 21
+// mantissa bits, so `k * LN2_HI` is exact for |k| ≤ 2^11 — every
+// exponent a finite positive double can have.
+#[expect(clippy::excessive_precision, reason = "exact fdlibm bit pattern, not a rounded literal")]
+const LN2_HI: f64 = 6.931_471_803_691_238_164_9e-1;
+#[expect(clippy::excessive_precision, reason = "exact fdlibm bit pattern, not a rounded literal")]
+const LN2_LO: f64 = 1.908_214_929_270_587_700_02e-10;
+
+// Taylor coefficients of `atanh(s)/s − 1` in `w = s²`: 1/3, 1/5, … 1/19.
+// With |s| ≤ √2−1 ≈ 0.1716 the first omitted term (s²⁰/21) is below
+// 1e-16, so the truncation is invisible at the accuracy the tail
+// branch needs (the result feeds a √ and a degree-7 rational).
+const ATANH_COEF: [f64; 9] = [
+    1.0 / 3.0,
+    1.0 / 5.0,
+    1.0 / 7.0,
+    1.0 / 9.0,
+    1.0 / 11.0,
+    1.0 / 13.0,
+    1.0 / 15.0,
+    1.0 / 17.0,
+    1.0 / 19.0,
+];
+
+/// `−ln x` for normal positive `x < 1`, as a fixed straight-line
+/// sequence of integer and float ops (no libm call, no data-dependent
+/// iteration).
+///
+/// Reduction is the standard one: shift the exponent split point so the
+/// mantissa lands in `[√2/2, √2)`, then `ln m = 2 atanh(s)` with
+/// `s = (m−1)/(m+1)` summed as a degree-9 polynomial in `s²`. Accuracy
+/// is a few ulp over the whole domain (pinned against libm `ln` in the
+/// tests below). Replaces libm `ln` in [`norm_quantile`]'s tail branch,
+/// which was the one data-dependent-latency call left in the draw path
+/// — and the dominant cost of a tail draw.
+#[inline(always)]
+fn fast_neg_ln(x: f64) -> f64 {
+    debug_assert!(
+        (f64::MIN_POSITIVE..1.0).contains(&x),
+        "fast_neg_ln domain is normal (0,1), got {x}"
+    );
+    const SQRT_HALF_HI: u64 = 0x3fe6_a09e_0000_0000;
+    let ux = x.to_bits().wrapping_add(0x3ff0_0000_0000_0000 - SQRT_HALF_HI);
+    let k = ((ux >> 52) as i64 - 1023) as f64;
+    let m = f64::from_bits((ux & 0x000f_ffff_ffff_ffff) + SQRT_HALF_HI);
+    // m ∈ [√2/2, √2): m−1 is exact (Sterbenz), m+1 loses at most 1 ulp.
+    let s = (m - 1.0) / (m + 1.0);
+    let w = s * s;
+    let mut h = ATANH_COEF[8];
+    h = h * w + ATANH_COEF[7];
+    h = h * w + ATANH_COEF[6];
+    h = h * w + ATANH_COEF[5];
+    h = h * w + ATANH_COEF[4];
+    h = h * w + ATANH_COEF[3];
+    h = h * w + ATANH_COEF[2];
+    h = h * w + ATANH_COEF[1];
+    h = h * w + ATANH_COEF[0];
+    let ln_m = 2.0 * s * (1.0 + w * h);
+    -(k * LN2_HI + (ln_m + k * LN2_LO))
+}
+
 /// Tail evaluation for `|p − ½| > 0.425`; `q = p − ½` carries the sign.
 #[inline(always)]
 fn norm_quantile_tail(p: f64, q: f64) -> f64 {
     let r = if q < 0.0 { p } else { 1.0 - p };
-    let r = (-r.ln()).sqrt();
+    let r = fast_neg_ln(r).sqrt();
     let x = if r <= 5.0 {
         ppnd_ratio(r - 1.6, &PPND_C, &PPND_D)
     } else {
@@ -331,31 +404,126 @@ pub fn norm_quantile_slice(ps: &mut [f64]) {
     crate::simd::dispatch_width!(W => norm_quantile_slice_w::<W>(ps))
 }
 
+/// Lane-staged tail evaluation for `W` deferred elements: the same
+/// per-element expression sequence as [`norm_quantile_tail`] (so bits
+/// are identical), but laid out as straight maps over `W` lanes. The
+/// tail branch is *latency*-bound scalar — three serial Horner chains
+/// plus a divide and a sqrt — so running `W` independent lanes
+/// side-by-side hides most of that latency even where the compiler
+/// only unrolls. Callers guarantee every element is a genuine finite
+/// tail (`0 < p < 1`, `|p − ½| > 0.425`).
+#[inline(always)]
+fn tail_lanes<const W: usize>(ps: &mut [f64], idx: &[usize], orig: &[f64]) {
+    let mut q = [0.0f64; W];
+    let mut r = [0.0f64; W];
+    let mut num = [0.0f64; W];
+    let mut den = [0.0f64; W];
+    for l in 0..W {
+        q[l] = orig[l] - 0.5;
+    }
+    for l in 0..W {
+        let p0 = if q[l] < 0.0 { orig[l] } else { 1.0 - orig[l] };
+        r[l] = fast_neg_ln(p0);
+    }
+    for rv in &mut r {
+        *rv = rv.sqrt();
+    }
+    for l in 0..W {
+        let t = r[l] - 1.6;
+        num[l] = horner8(t, &PPND_C);
+        den[l] = horner7_monic(t, &PPND_D);
+    }
+    for l in 0..W {
+        // r > 5 means p < e^{−25} ≈ 1.4e-11 — essentially never for
+        // uniform draws; recompute those few with the far-tail ratio.
+        let x = if r[l] <= 5.0 {
+            num[l] / den[l]
+        } else {
+            ppnd_ratio(r[l] - 5.0, &PPND_E, &PPND_F)
+        };
+        ps[idx[l]] = if q[l] < 0.0 { -x } else { x };
+    }
+}
+
 /// Fixed-width body of [`norm_quantile_slice`]; public so
 /// `kernel_digest` and the width benches can pin a width explicitly.
 pub fn norm_quantile_slice_w<const W: usize>(ps: &mut [f64]) {
-    let mut chunks = ps.chunks_exact_mut(W);
-    for c in &mut chunks {
-        // All-central is the common case (0.85^W of chunks run
-        // branch-free); mixed chunks pay one scalar fixup per lane.
-        let mut all_central = true;
-        for &x in c.iter() {
-            all_central &= (x - 0.5).abs() <= PPND_CENTRAL;
-        }
-        if all_central {
-            for x in c.iter_mut() {
-                *x = norm_quantile_central(*x - 0.5);
+    const { assert!(W <= 8, "tail deferral buffers assume W <= 8") };
+    // Deferred tail lanes, flushed W at a time through `tail_lanes`.
+    // Up to W−1 carried between chunks plus W from the current chunk.
+    let mut tidx = [0usize; 16];
+    let mut torig = [0.0f64; 16];
+    let mut tcnt = 0usize;
+    let n = ps.len();
+    let main = n - n % W;
+    let mut base = 0;
+    while base < main {
+        {
+            let c = &mut ps[base..base + W];
+            // Run the central branch unconditionally over all W lanes
+            // as staged lane arrays: each pass is a straight map over
+            // W elements, which SLP-vectorizes wholesale — including
+            // the divide, which the fused per-element form left
+            // scalar. The per-element expressions are exactly those of
+            // `norm_quantile_central`, so central-lane bits are
+            // unchanged. Tail lanes (|p − ½| > 0.425, ~15% of draws)
+            // get a garbage central value — the argument r stays in
+            // [−0.07, 0.18] where the denominator cannot vanish, so
+            // nothing traps — and are deferred to the lane-staged tail
+            // pass. The old shape bailed the *whole* chunk to scalar
+            // when any lane was a tail, which at W = 8 sent ~73% of
+            // chunks down the slow path.
+            let mut orig = [0.0f64; W];
+            orig.copy_from_slice(c);
+            let mut q = [0.0f64; W];
+            let mut num = [0.0f64; W];
+            let mut den = [0.0f64; W];
+            for l in 0..W {
+                q[l] = c[l] - 0.5;
             }
-        } else {
-            // Note: re-deriving p as q + 0.5 would lose low bits for
-            // tiny tail probabilities; use the untouched element.
-            for x in c.iter_mut() {
-                *x = norm_quantile(*x);
+            for l in 0..W {
+                let r = PPND_CENTRAL * PPND_CENTRAL - q[l] * q[l];
+                num[l] = horner8(r, &PPND_A);
+                den[l] = horner7_monic(r, &PPND_B);
+            }
+            for l in 0..W {
+                c[l] = q[l] * (num[l] / den[l]);
+            }
+            for l in 0..W {
+                // Negated form so NaN lands in the scalar arm, whose
+                // range assert rejects it — matching the all-scalar
+                // behaviour. Note: re-deriving p as q + 0.5 would lose
+                // low bits for tiny tail probabilities; defer the
+                // untouched element.
+                #[expect(
+                    clippy::neg_cmp_op_on_partial_ord,
+                    reason = "negated form routes NaN into the scalar arm deliberately"
+                )]
+                if !(q[l].abs() <= PPND_CENTRAL) {
+                    let x = orig[l];
+                    if x > 0.0 && x < 1.0 {
+                        tidx[tcnt] = base + l;
+                        torig[tcnt] = x;
+                        tcnt += 1;
+                    } else {
+                        // Endpoints (→ ±∞) and out-of-range inputs
+                        // keep the scalar path's exact behaviour.
+                        c[l] = norm_quantile(x);
+                    }
+                }
             }
         }
+        if tcnt >= W {
+            tcnt -= W;
+            tail_lanes::<W>(ps, &tidx[tcnt..tcnt + W], &torig[tcnt..tcnt + W]);
+        }
+        base += W;
     }
-    for p in chunks.into_remainder() {
+    for p in &mut ps[main..] {
         *p = norm_quantile(*p);
+    }
+    for i in 0..tcnt {
+        ps[tidx[i]] = norm_quantile(torig[i]);
     }
 }
 
@@ -449,6 +617,30 @@ mod tests {
         assert_eq!(norm_quantile(0.0), f64::NEG_INFINITY);
         assert_eq!(norm_quantile(1.0), f64::INFINITY);
         assert!(norm_quantile(0.5).abs() < 1e-15);
+    }
+
+    #[test]
+    fn fast_neg_ln_tracks_libm() {
+        // A few ulp of agreement with libm ln across the full normal
+        // range, including the deep-tail magnitudes norm_quantile feeds
+        // it (p down to f64::MIN_POSITIVE).
+        let mut x = f64::MIN_POSITIVE;
+        while x < 1.0 {
+            for &f in &[1.0, 1.37, 1.9999, 2.6, 3.3] {
+                let v = x * f;
+                if v >= 1.0 {
+                    continue;
+                }
+                let got = fast_neg_ln(v);
+                let want = -v.ln();
+                assert!(
+                    (got - want).abs() <= 4.0 * (want.abs() * f64::EPSILON).max(f64::EPSILON),
+                    "x={v:e}: got {got:.17e} want {want:.17e}"
+                );
+            }
+            x *= 4.0;
+        }
+        assert!((fast_neg_ln(f64::MIN_POSITIVE) - 708.396_418_532_264_1).abs() < 1e-10);
     }
 
     #[test]

@@ -303,7 +303,10 @@ pub fn generate(config: &ScreenplayConfig) -> Trace {
     // 5. Impose the Gamma/Pareto marginal.
     let marginal = GammaPareto::from_params(config.mu, config.sigma, config.tail_slope);
     let xform = MarginalTransform::new(&marginal, 0.0, 1.0, TableMode::Exact);
-    let frame_bytes: Vec<f64> = z.iter().map(|&v| xform.map(v)).collect();
+    // In place: z is dead after this point, so reuse its buffer rather
+    // than allocating a second n-length vector.
+    let mut frame_bytes = z;
+    xform.map_inplace(&mut frame_bytes);
 
     // 6. Split frames into slices with Dirichlet(α) weights.
     let spf = config.slices_per_frame;
