@@ -31,7 +31,7 @@ fn bench_variance_time(c: &mut Criterion) {
         b.iter(|| vbr_lrd::local_whittle(black_box(&x), None))
     });
     g.bench_function("wavelet_hurst", |b| {
-        b.iter(|| vbr_lrd::wavelet_hurst(black_box(&x), 2, None))
+        b.iter(|| vbr_lrd::wavelet_hurst(black_box(&x), Some(2), None))
     });
     g.finish();
 }

@@ -1,0 +1,85 @@
+//! One-command model bake-off: fit the three-model zoo to a reference
+//! trace and score every family on marginal fit, H recovery, ACF, and
+//! queueing-curve error (see `vbr_model::bakeoff`).
+//!
+//! ```text
+//! model_bakeoff [--frames N] [--quick] [--seed S] [--out report.json] [--digest]
+//! ```
+//!
+//! - `--frames N`  reference screenplay trace length (default 60 000;
+//!   `--quick` drops it to 16 384).
+//! - `--quick`     CI-sized scoring (smaller samples, one `T_max` point).
+//! - `--seed S`    zoo seed (default 42). The reference trace seed is
+//!   fixed so reports are comparable across runs.
+//! - `--out PATH`  also write the JSON artifact to `PATH`.
+//! - `--digest`    print only `name digest` lines — the CI determinism
+//!   gate runs the binary twice and diffs this output.
+//!
+//! Exit is nonzero on bad usage only; scoring always succeeds on the
+//! built-in reference.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use vbr_model::{bakeoff_for_trace, BakeoffOptions};
+use vbr_video::{generate_screenplay, ScreenplayConfig};
+
+fn main() -> ExitCode {
+    let mut frames = 60_000usize;
+    let mut quick = false;
+    let mut seed = 42u64;
+    let mut out: Option<PathBuf> = None;
+    let mut digest_only = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--frames" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => frames = v,
+                None => return usage("--frames needs an integer"),
+            },
+            "--seed" => match args.next().and_then(|v| v.parse().ok()) {
+                Some(v) => seed = v,
+                None => return usage("--seed needs an integer"),
+            },
+            "--out" => match args.next() {
+                Some(v) => out = Some(PathBuf::from(v)),
+                None => return usage("--out needs a path"),
+            },
+            "--quick" => quick = true,
+            "--digest" => digest_only = true,
+            other => return usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if quick {
+        frames = frames.min(16_384);
+    }
+
+    let opts = if quick { BakeoffOptions::quick() } else { BakeoffOptions::default() };
+    let trace = generate_screenplay(&ScreenplayConfig::short(frames, 7)).frame_series();
+    let report = bakeoff_for_trace(&trace, seed, &opts);
+
+    if digest_only {
+        for s in &report.scores {
+            println!("{} {:016x}", s.name, s.digest);
+        }
+    } else {
+        print!("{}", report.table());
+    }
+    if let Some(path) = out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("model_bakeoff: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {}", path.display());
+    }
+    ExitCode::SUCCESS
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("model_bakeoff: {msg}");
+    eprintln!(
+        "usage: model_bakeoff [--frames N] [--quick] [--seed S] [--out report.json] [--digest]"
+    );
+    ExitCode::FAILURE
+}

@@ -121,6 +121,7 @@ fn run_suite(sizes: &Sizes) -> PerfReport {
     bench_batch_fgn(sizes, &mut report);
     bench_checkpoint(sizes, &mut report);
     bench_fleet(sizes, &mut report);
+    bench_models(sizes, &mut report);
     report
 }
 
@@ -1708,4 +1709,37 @@ fn bench_fleet(sizes: &Sizes, report: &mut PerfReport) {
              shard-count-invariant everywhere)"
         ),
     );
+}
+
+// ---------------------------------------------------------------------------
+// Model zoo tier
+// ---------------------------------------------------------------------------
+
+/// Per-family generation throughput through the common [`TrafficModel`]
+/// seam: fit the three-model zoo once from a screenplay reference, then
+/// time each family producing `hurst_n` samples. No baseline — these
+/// entries pin absolute generation cost per family so a fitting or
+/// synthesis regression in any one model shows up in the gate.
+fn bench_models(sizes: &Sizes, report: &mut PerfReport) {
+    let n = sizes.hurst_n;
+    let trace =
+        generate_screenplay(&ScreenplayConfig::short(sizes.trace_frames, 7)).frame_series();
+    let est = vbr_model::estimate_series(&trace, &vbr_model::EstimateOptions::default());
+    let mut zoo = vbr_model::model_zoo(&trace, &est.params, 42);
+    for model in zoo.iter_mut() {
+        let name = model.name().replace('-', "_");
+        let entry = model.snapshot(0);
+        let t = time_median(1, sizes.reps, || {
+            model.restore(&entry).expect("own snapshot restores");
+            let xs = model.sample_series(n);
+            std::hint::black_box(xs.len());
+        });
+        report.record(
+            "models",
+            &format!("generate_{name}"),
+            t,
+            (1, sizes.reps),
+            &format!("{n} samples via sample_series, snapshot-restored to a fixed state first"),
+        );
+    }
 }

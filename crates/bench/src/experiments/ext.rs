@@ -60,7 +60,7 @@ pub fn ext(ctx: &Ctx) {
     banner("Extensions — estimator battery on the default trace");
     let series = ctx.trace.frame_series();
     let lw = local_whittle(&series, None);
-    let wv = wavelet_hurst(&series, 3, None);
+    let wv = wavelet_hurst(&series, Some(3), None);
     println!(
         "local Whittle (semiparametric): H = {:.3} +/- {:.3}  (m = {})",
         lw.hurst,

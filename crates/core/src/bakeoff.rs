@@ -1,0 +1,528 @@
+//! The model bake-off: score every [`TrafficModel`] family against one
+//! reference trace on the three axes the paper judges models by —
+//! marginal fit (§4), correlation/H recovery (§3.2), and queueing
+//! behaviour (§5) — and emit a comparison table plus a machine-readable
+//! JSON artifact.
+//!
+//! The scoring is symmetric: each model generates a synthetic series of
+//! the same length as the reference and both sides face the *same*
+//! empirical statistics (two-sample KS, Q-Q grid, ACF, the full §3.2.3
+//! estimator panel, and the model-driven Q-C capacity search vs a
+//! [`TraceReplay`] of the reference).
+
+use std::fmt::Write as _;
+
+use vbr_fgn::traffic::TrafficModel;
+use vbr_fgn::TraceReplay;
+use vbr_lrd::{
+    periodogram_h, try_local_whittle, try_rs_analysis, try_variance_time, try_wavelet_hurst,
+    try_whittle, RsOptions, VtOptions, WaveletOptions,
+};
+use vbr_qsim::{try_required_capacity_model, LossMetric, LossTarget};
+use vbr_stats::gof::ks_two_sample;
+use vbr_stats::histogram::Ecdf;
+use vbr_stats::{autocorrelation, ParamHasher};
+
+use crate::params::ModelParams;
+
+/// Knobs for one bake-off run.
+#[derive(Debug, Clone)]
+pub struct BakeoffOptions {
+    /// Synthetic series length drawn from each model (the reference trace
+    /// is scored at its own length).
+    pub samples: usize,
+    /// Maximum ACF lag compared.
+    pub acf_lag: usize,
+    /// Slots per queueing probe.
+    pub qc_slots: usize,
+    /// Slot duration in seconds.
+    pub dt: f64,
+    /// `T_max` grid (seconds of buffering at the fitted capacity) for the
+    /// queueing-curve comparison; empty disables the queueing axis.
+    pub qc_tmax: Vec<f64>,
+    /// Loss-rate target for the capacity search.
+    pub qc_loss: f64,
+    /// Bisection iterations per capacity probe.
+    pub qc_iterations: usize,
+}
+
+impl Default for BakeoffOptions {
+    fn default() -> Self {
+        BakeoffOptions {
+            samples: 65_536,
+            acf_lag: 200,
+            qc_slots: 16_384,
+            dt: 1.0 / 30.0,
+            qc_tmax: vec![0.01, 0.1, 1.0],
+            qc_loss: 1e-2,
+            qc_iterations: 30,
+        }
+    }
+}
+
+impl BakeoffOptions {
+    /// CI-sized options: small series, short queueing probes.
+    pub fn quick() -> Self {
+        BakeoffOptions {
+            samples: 8_192,
+            acf_lag: 64,
+            qc_slots: 4_096,
+            qc_tmax: vec![0.1],
+            qc_iterations: 18,
+            ..Self::default()
+        }
+    }
+}
+
+/// The full §3.2.3 estimator panel on one series. Estimators that cannot
+/// run (series too short, degenerate spectrum) record `None`.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct HurstPanel {
+    /// Whittle MLE (fGn spectrum).
+    pub whittle: Option<f64>,
+    /// Gaussian semiparametric local Whittle.
+    pub local_whittle: Option<f64>,
+    /// Weighted Abry–Veitch wavelet fit.
+    pub wavelet: Option<f64>,
+    /// R/S pox-diagram slope.
+    pub rs: Option<f64>,
+    /// Variance-time plot slope.
+    pub variance_time: Option<f64>,
+    /// Low-frequency periodogram slope.
+    pub periodogram: Option<f64>,
+}
+
+impl HurstPanel {
+    /// Runs all six estimators on `xs`.
+    pub fn measure(xs: &[f64]) -> Self {
+        HurstPanel {
+            whittle: try_whittle(xs).ok().map(|e| e.hurst),
+            local_whittle: try_local_whittle(xs, None).ok().map(|e| e.hurst),
+            wavelet: try_wavelet_hurst(xs, &WaveletOptions::default()).ok().map(|e| e.hurst),
+            rs: try_rs_analysis(xs, &RsOptions::default()).ok().map(|e| e.hurst),
+            variance_time: try_variance_time(xs, &VtOptions::default()).ok().map(|e| e.hurst),
+            periodogram: Some(periodogram_h(xs, 0.1).hurst),
+        }
+    }
+
+    /// Median of the estimators that produced an answer.
+    pub fn median(&self) -> Option<f64> {
+        let mut v: Vec<f64> = [
+            self.whittle,
+            self.local_whittle,
+            self.wavelet,
+            self.rs,
+            self.variance_time,
+            self.periodogram,
+        ]
+        .iter()
+        .flatten()
+        .copied()
+        .collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        Some(v[v.len() / 2])
+    }
+
+    fn entries(&self) -> [(&'static str, Option<f64>); 6] {
+        [
+            ("whittle", self.whittle),
+            ("local_whittle", self.local_whittle),
+            ("wavelet", self.wavelet),
+            ("rs", self.rs),
+            ("variance_time", self.variance_time),
+            ("periodogram", self.periodogram),
+        ]
+    }
+}
+
+/// One model's scorecard.
+#[derive(Debug, Clone)]
+pub struct ModelScore {
+    /// Model family name.
+    pub name: String,
+    /// The H the model claims to target (`None` for SRD families).
+    pub nominal_hurst: Option<f64>,
+    /// Two-sample KS statistic, model vs reference.
+    pub ks: f64,
+    /// Relative RMSE over the 1–99 % Q-Q grid, normalised by the
+    /// reference mean.
+    pub qq_rel_rmse: f64,
+    /// |model mean − reference mean| / reference mean.
+    pub mean_rel_err: f64,
+    /// |model variance − reference variance| / reference variance.
+    pub var_rel_err: f64,
+    /// RMSE between model and reference ACF over lags 1..=`acf_lag`.
+    pub acf_rmse: f64,
+    /// The estimator panel on the model's output.
+    pub hurst: HurstPanel,
+    /// |panel median − reference panel median|, when both exist.
+    pub hurst_err: Option<f64>,
+    /// Mean relative error of the required capacity vs the trace-replay
+    /// reference over the `T_max` grid (`None` when the grid is empty).
+    pub queueing_rel_err: Option<f64>,
+    /// Order-sensitive digest of the model's generated series — the CI
+    /// determinism gate compares this across runs.
+    pub digest: u64,
+}
+
+/// The bake-off result: reference statistics plus one [`ModelScore`] per
+/// zoo member.
+#[derive(Debug, Clone)]
+pub struct BakeoffReport {
+    /// Reference trace length.
+    pub reference_len: usize,
+    /// Reference sample mean.
+    pub reference_mean: f64,
+    /// Reference sample variance.
+    pub reference_variance: f64,
+    /// Estimator panel on the reference trace.
+    pub reference_hurst: HurstPanel,
+    /// Fitted four-parameter model for the reference.
+    pub reference_params: ModelParams,
+    /// Per-model scorecards, in zoo order.
+    pub scores: Vec<ModelScore>,
+}
+
+fn moments(xs: &[f64]) -> (f64, f64) {
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / n;
+    (mean, var)
+}
+
+fn series_digest(xs: &[f64]) -> u64 {
+    let mut h = ParamHasher::new().str("bakeoff-series").usize(xs.len());
+    for &x in xs {
+        h = h.f64(x);
+    }
+    h.finish()
+}
+
+fn qq_rel_rmse(reference: &Ecdf, model: &Ecdf, ref_mean: f64) -> f64 {
+    let mut acc = 0.0;
+    for i in 1..100 {
+        let p = i as f64 / 100.0;
+        let d = model.quantile(p) - reference.quantile(p);
+        acc += d * d;
+    }
+    (acc / 99.0).sqrt() / ref_mean
+}
+
+fn acf_rmse(a: &[f64], b: &[f64]) -> f64 {
+    // Both start at lag 0 (= 1.0 by construction); compare lags ≥ 1.
+    let l = a.len().min(b.len());
+    let acc: f64 = a[1..l].iter().zip(&b[1..l]).map(|(x, y)| (x - y).powi(2)).sum();
+    (acc / (l - 1) as f64).sqrt()
+}
+
+/// Scores one model against a reference trace. The queueing axis needs a
+/// mutable reference replay, so the caller passes the raw trace.
+pub fn score_model(
+    model: &mut dyn TrafficModel,
+    trace: &[f64],
+    reference: &BakeoffReference,
+    opts: &BakeoffOptions,
+) -> ModelScore {
+    let series = model.sample_series(opts.samples);
+    let (mean, var) = moments(&series);
+    let model_ecdf = Ecdf::new(&series);
+    let model_acf = autocorrelation(&series, opts.acf_lag);
+    let panel = HurstPanel::measure(&series);
+
+    let queueing_rel_err = if opts.qc_tmax.is_empty() {
+        None
+    } else {
+        let mut errs = Vec::with_capacity(opts.qc_tmax.len());
+        for (&tm, &c_ref) in opts.qc_tmax.iter().zip(&reference.qc_capacity) {
+            let c_model = try_required_capacity_model(
+                model,
+                opts.qc_slots,
+                opts.dt,
+                tm,
+                LossTarget::Rate(opts.qc_loss),
+                LossMetric::Overall,
+                opts.qc_iterations,
+            );
+            if let Ok(c) = c_model {
+                errs.push((c - c_ref).abs() / c_ref);
+            }
+        }
+        if errs.is_empty() {
+            None
+        } else {
+            Some(errs.iter().sum::<f64>() / errs.len() as f64)
+        }
+    };
+
+    ModelScore {
+        name: model.name().to_string(),
+        nominal_hurst: model.nominal_hurst(),
+        ks: ks_two_sample(&series, trace),
+        qq_rel_rmse: qq_rel_rmse(&reference.ecdf, &model_ecdf, reference.mean),
+        mean_rel_err: (mean - reference.mean).abs() / reference.mean,
+        var_rel_err: (var - reference.variance).abs() / reference.variance,
+        acf_rmse: acf_rmse(&reference.acf, &model_acf),
+        hurst_err: panel
+            .median()
+            .zip(reference.hurst.median())
+            .map(|(m, r)| (m - r).abs()),
+        hurst: panel,
+        queueing_rel_err,
+        digest: series_digest(&series),
+    }
+}
+
+/// Pre-computed reference-side statistics, shared across all scored
+/// models so the trace is analysed once.
+pub struct BakeoffReference {
+    mean: f64,
+    variance: f64,
+    ecdf: Ecdf,
+    acf: Vec<f64>,
+    hurst: HurstPanel,
+    qc_capacity: Vec<f64>,
+}
+
+impl BakeoffReference {
+    /// Analyses the reference trace once: moments, ECDF, ACF, the
+    /// estimator panel, and the Q-C capacities over the `T_max` grid via
+    /// a [`TraceReplay`] through the same model-driven search the
+    /// candidates face.
+    pub fn analyze(trace: &[f64], opts: &BakeoffOptions) -> Self {
+        let (mean, variance) = moments(trace);
+        let mut qc_capacity = Vec::with_capacity(opts.qc_tmax.len());
+        for &tm in &opts.qc_tmax {
+            let mut replay = TraceReplay::new(trace.to_vec());
+            let c = try_required_capacity_model(
+                &mut replay,
+                opts.qc_slots,
+                opts.dt,
+                tm,
+                LossTarget::Rate(opts.qc_loss),
+                LossMetric::Overall,
+                opts.qc_iterations,
+            )
+            .unwrap_or(f64::NAN);
+            qc_capacity.push(c);
+        }
+        BakeoffReference {
+            mean,
+            variance,
+            ecdf: Ecdf::new(trace),
+            acf: autocorrelation(trace, opts.acf_lag),
+            hurst: HurstPanel::measure(trace),
+            qc_capacity,
+        }
+    }
+}
+
+/// Runs the full bake-off: analyse the reference, then score each model
+/// in `zoo` (each is mutated — sampled and snapshot-replayed).
+pub fn run_bakeoff(
+    trace: &[f64],
+    params: &ModelParams,
+    zoo: &mut [Box<dyn TrafficModel>],
+    opts: &BakeoffOptions,
+) -> BakeoffReport {
+    let reference = BakeoffReference::analyze(trace, opts);
+    let scores = zoo
+        .iter_mut()
+        .map(|m| score_model(m.as_mut(), trace, &reference, opts))
+        .collect();
+    BakeoffReport {
+        reference_len: trace.len(),
+        reference_mean: reference.mean,
+        reference_variance: reference.variance,
+        reference_hurst: reference.hurst,
+        reference_params: *params,
+        scores,
+    }
+}
+
+fn fmt_opt(v: Option<f64>) -> String {
+    match v {
+        Some(x) => format!("{x:.3}"),
+        None => "—".to_string(),
+    }
+}
+
+impl BakeoffReport {
+    /// Human-readable comparison table (markdown-ish fixed columns).
+    pub fn table(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "reference: n = {}, mean = {:.1}, sd = {:.1}, H(panel median) = {}",
+            self.reference_len,
+            self.reference_mean,
+            self.reference_variance.sqrt(),
+            fmt_opt(self.reference_hurst.median()),
+        );
+        let _ = writeln!(
+            out,
+            "{:<22} {:>7} {:>8} {:>8} {:>8} {:>9} {:>8} {:>8} {:>8}",
+            "model", "KS", "qq-rmse", "mean-err", "var-err", "acf-rmse", "H-med", "H-err", "qc-err"
+        );
+        for s in &self.scores {
+            let _ = writeln!(
+                out,
+                "{:<22} {:>7.4} {:>8.4} {:>8.4} {:>8.4} {:>9.4} {:>8} {:>8} {:>8}",
+                s.name,
+                s.ks,
+                s.qq_rel_rmse,
+                s.mean_rel_err,
+                s.var_rel_err,
+                s.acf_rmse,
+                fmt_opt(s.hurst.median()),
+                fmt_opt(s.hurst_err),
+                fmt_opt(s.queueing_rel_err),
+            );
+        }
+        out
+    }
+
+    /// Machine-readable JSON artifact (hand-emitted; ASCII field names).
+    pub fn to_json(&self) -> String {
+        fn jf(v: f64) -> String {
+            if v.is_finite() { format!("{v:.9}") } else { "null".to_string() }
+        }
+        fn jopt(v: Option<f64>) -> String {
+            v.map(jf).unwrap_or_else(|| "null".to_string())
+        }
+        fn jpanel(p: &HurstPanel) -> String {
+            let fields: Vec<String> = p
+                .entries()
+                .iter()
+                .map(|(k, v)| format!("\"{k}\": {}", jopt(*v)))
+                .collect();
+            format!("{{{}}}", fields.join(", "))
+        }
+        let mut out = String::from("{\n");
+        let _ = writeln!(out, "  \"schema\": \"vbr-model-bakeoff/1\",");
+        let _ = writeln!(out, "  \"reference\": {{");
+        let _ = writeln!(out, "    \"len\": {},", self.reference_len);
+        let _ = writeln!(out, "    \"mean\": {},", jf(self.reference_mean));
+        let _ = writeln!(out, "    \"variance\": {},", jf(self.reference_variance));
+        let p = &self.reference_params;
+        let _ = writeln!(
+            out,
+            "    \"params\": {{\"mu_gamma\": {}, \"sigma_gamma\": {}, \"tail_slope\": {}, \"hurst\": {}}},",
+            jf(p.mu_gamma), jf(p.sigma_gamma), jf(p.tail_slope), jf(p.hurst)
+        );
+        let _ = writeln!(out, "    \"hurst\": {}", jpanel(&self.reference_hurst));
+        let _ = writeln!(out, "  }},");
+        let _ = writeln!(out, "  \"models\": [");
+        for (i, s) in self.scores.iter().enumerate() {
+            let _ = writeln!(out, "    {{");
+            let _ = writeln!(out, "      \"name\": \"{}\",", s.name);
+            let _ = writeln!(out, "      \"nominal_hurst\": {},", jopt(s.nominal_hurst));
+            let _ = writeln!(out, "      \"ks\": {},", jf(s.ks));
+            let _ = writeln!(out, "      \"qq_rel_rmse\": {},", jf(s.qq_rel_rmse));
+            let _ = writeln!(out, "      \"mean_rel_err\": {},", jf(s.mean_rel_err));
+            let _ = writeln!(out, "      \"var_rel_err\": {},", jf(s.var_rel_err));
+            let _ = writeln!(out, "      \"acf_rmse\": {},", jf(s.acf_rmse));
+            let _ = writeln!(out, "      \"hurst\": {},", jpanel(&s.hurst));
+            let _ = writeln!(out, "      \"hurst_err\": {},", jopt(s.hurst_err));
+            let _ = writeln!(out, "      \"queueing_rel_err\": {},", jopt(s.queueing_rel_err));
+            let _ = writeln!(out, "      \"digest\": \"{:016x}\"", s.digest);
+            let _ = writeln!(out, "    }}{}", if i + 1 < self.scores.len() { "," } else { "" });
+        }
+        let _ = writeln!(out, "  ]");
+        out.push('}');
+        out.push('\n');
+        out
+    }
+}
+
+/// Fits the parameters and builds + scores the standard three-model zoo
+/// in one call — the `model_bakeoff` binary's engine, kept in the
+/// library so tests can exercise it without spawning the CLI.
+pub fn bakeoff_for_trace(trace: &[f64], seed: u64, opts: &BakeoffOptions) -> BakeoffReport {
+    let est = crate::estimate::estimate_series(trace, &crate::estimate::EstimateOptions::default());
+    let mut zoo = crate::models::model_zoo(trace, &est.params, seed);
+    run_bakeoff(trace, &est.params, &mut zoo, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vbr_stats::gof::ks_p_value;
+
+    fn small_trace() -> Vec<f64> {
+        let mut src = crate::models::FarimaGpModel::from_params(
+            &ModelParams::paper_frame_defaults(),
+            512,
+            31,
+        );
+        src.sample_series(12_288)
+    }
+
+    #[test]
+    fn bakeoff_scores_all_three_models() {
+        let trace = small_trace();
+        let opts = BakeoffOptions {
+            samples: 8_192,
+            acf_lag: 50,
+            qc_slots: 2_048,
+            qc_tmax: vec![0.1],
+            qc_iterations: 12,
+            ..BakeoffOptions::default()
+        };
+        let report = bakeoff_for_trace(&trace, 7, &opts);
+        assert_eq!(report.scores.len(), 3);
+        let names: Vec<&str> = report.scores.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, ["farima-gamma-pareto", "mwm", "scene-chain"]);
+        for s in &report.scores {
+            assert!(s.ks.is_finite() && s.ks >= 0.0 && s.ks <= 1.0, "{}: ks {}", s.name, s.ks);
+            assert!(s.qq_rel_rmse.is_finite(), "{}", s.name);
+            assert!(s.acf_rmse.is_finite(), "{}", s.name);
+            assert!(s.queueing_rel_err.is_some(), "{}: queueing axis missing", s.name);
+        }
+        // The paper's own model family regenerates its own marginal: it
+        // must beat a loose KS bar against its own kind of trace.
+        let farima = &report.scores[0];
+        assert!(farima.ks < 0.05, "farima KS {} too large vs own-family trace", farima.ks);
+        let _ = ks_p_value(farima.ks, 8_192);
+    }
+
+    #[test]
+    fn report_renders_table_and_json() {
+        let trace = small_trace();
+        let opts = BakeoffOptions {
+            samples: 4_096,
+            acf_lag: 30,
+            qc_tmax: vec![], // skip the queueing axis for speed
+            ..BakeoffOptions::default()
+        };
+        let report = bakeoff_for_trace(&trace, 3, &opts);
+        let table = report.table();
+        assert!(table.contains("farima-gamma-pareto"));
+        assert!(table.contains("scene-chain"));
+        let json = report.to_json();
+        assert!(json.contains("\"schema\": \"vbr-model-bakeoff/1\""));
+        assert!(json.contains("\"mwm\""));
+        assert!(json.contains("\"digest\""));
+        // Valid-ish JSON: balanced braces, no trailing comma before ].
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn digests_are_deterministic_across_runs() {
+        let trace = small_trace();
+        let opts = BakeoffOptions {
+            samples: 2_048,
+            acf_lag: 20,
+            qc_tmax: vec![],
+            ..BakeoffOptions::default()
+        };
+        let a = bakeoff_for_trace(&trace, 11, &opts);
+        let b = bakeoff_for_trace(&trace, 11, &opts);
+        for (x, y) in a.scores.iter().zip(&b.scores) {
+            assert_eq!(x.digest, y.digest, "{} digest drifted", x.name);
+        }
+    }
+}

@@ -179,6 +179,19 @@ pub fn try_estimate_trace(
     try_estimate_series(&trace.frame_series(), opts)
 }
 
+/// Estimates the four parameters from `n` samples drawn out of *any*
+/// [`TrafficModel`] — the estimation side of the model-zoo seam: every
+/// family is scored by exactly the same estimator stack it would face as
+/// a real trace. The model is advanced by `n` samples.
+pub fn estimate_model(
+    model: &mut dyn vbr_fgn::TrafficModel,
+    n: usize,
+    opts: &EstimateOptions,
+) -> Result<Estimate, ModelError> {
+    let series = model.sample_series(n);
+    try_estimate_series(&series, opts)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

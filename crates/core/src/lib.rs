@@ -21,19 +21,26 @@
 
 #![warn(missing_docs)]
 
+pub mod bakeoff;
 pub mod baselines;
 pub mod error;
 pub mod estimate;
 pub mod generate;
+pub mod models;
 pub mod params;
 pub mod validate;
 
+pub use bakeoff::{
+    bakeoff_for_trace, run_bakeoff, score_model, BakeoffOptions, BakeoffReference, BakeoffReport,
+    HurstPanel, ModelScore,
+};
 pub use baselines::{Dar1, MiniSources};
 pub use error::ModelError;
 pub use estimate::{
-    estimate_series, estimate_trace, fit_tail_slope, try_estimate_series, try_estimate_trace,
-    Estimate, EstimateOptions, HurstMethod,
+    estimate_model, estimate_series, estimate_trace, fit_tail_slope, try_estimate_series,
+    try_estimate_trace, Estimate, EstimateOptions, HurstMethod,
 };
 pub use generate::{CorrelationVariant, LrdEngine, MarginalVariant, SourceModel};
+pub use models::{fit_mwm, model_zoo, FarimaGpModel, DEFAULT_MODEL_BLOCK};
 pub use params::ModelParams;
 pub use validate::{round_trip, Validation};

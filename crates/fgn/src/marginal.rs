@@ -32,10 +32,12 @@ pub enum TableMode {
 }
 
 /// Probability-integral transform from a Gaussian process to an arbitrary
-/// target marginal. Borrows the target distribution; owns the table.
+/// target marginal. Owns the target distribution (pass `&D` — every
+/// `&impl ContinuousDist` is itself a `ContinuousDist` — to borrow it
+/// instead) and the table.
 #[derive(Debug, Clone)]
-pub struct MarginalTransform<'a, D: ContinuousDist> {
-    target: &'a D,
+pub struct MarginalTransform<D: ContinuousDist> {
+    target: D,
     /// Mean of the source Gaussian process.
     src_mean: f64,
     /// Standard deviation of the source Gaussian process.
@@ -62,9 +64,9 @@ pub struct MarginalTransform<'a, D: ContinuousDist> {
     slopes: Vec<f64>,
 }
 
-impl<'a, D: ContinuousDist> MarginalTransform<'a, D> {
+impl<D: ContinuousDist> MarginalTransform<D> {
     /// Builds a transform from `N(src_mean, src_sd²)` to `target`.
-    pub fn new(target: &'a D, src_mean: f64, src_sd: f64, mode: TableMode) -> Self {
+    pub fn new(target: D, src_mean: f64, src_sd: f64, mode: TableMode) -> Self {
         assert!(src_sd > 0.0, "source std dev must be positive");
         let (table, zknots): (Vec<f64>, Vec<f64>) = match mode {
             TableMode::Exact => (Vec::new(), Vec::new()),

@@ -42,7 +42,10 @@ pub use rs::{
     rs_aggregated, rs_analysis, rs_statistic, rs_varied, try_rs_analysis, RsAnalysis, RsOptions,
 };
 pub use variance_time::{try_variance_time, variance_time, VarianceTime, VtOptions};
-pub use wavelet::{logscale_diagram, wavelet_hurst, LogscaleDiagram, WaveletEstimate};
+pub use wavelet::{
+    logscale_diagram, try_wavelet_hurst, wavelet_hurst, wavelet_hurst_with, LogscaleDiagram,
+    WaveletEstimate, WaveletOptions, DEFAULT_J_MIN,
+};
 pub use whittle::{
     try_whittle, try_whittle_log, try_whittle_with, whittle, whittle_aggregated,
     whittle_aggregated_with, whittle_log, whittle_objective_direct, whittle_with,

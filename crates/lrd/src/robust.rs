@@ -5,8 +5,8 @@
 //! any single number (Table 3). This module operationalises that:
 //! [`robust_hurst`] runs Whittle first (the most efficient estimator when
 //! its parametric model holds), and falls back through local Whittle →
-//! R/S → variance-time when an estimator rejects the series or fails to
-//! converge. The result records which estimator produced the headline
+//! wavelet (Abry–Veitch, weighted) → R/S → variance-time when an
+//! estimator rejects the series or fails to converge. The result records which estimator produced the headline
 //! value, every estimate that succeeded, a cross-estimator agreement
 //! diagnostic (the maximum pairwise spread), and the typed error of every
 //! estimator that failed — graceful degradation instead of a panic.
@@ -15,6 +15,7 @@ use crate::error::LrdError;
 use crate::local_whittle::try_local_whittle;
 use crate::rs::{try_rs_analysis, RsOptions};
 use crate::variance_time::{try_variance_time, VtOptions};
+use crate::wavelet::{try_wavelet_hurst, WaveletOptions};
 use crate::whittle::{try_whittle_with, SpectralModel};
 use vbr_stats::error::{check_all_finite, check_min_len, check_non_constant};
 use vbr_stats::obs::{self, Counter};
@@ -26,6 +27,8 @@ pub enum EstimatorKind {
     Whittle,
     /// Local Whittle (Gaussian semiparametric).
     LocalWhittle,
+    /// Abry–Veitch wavelet logscale-diagram slope (weighted WLS fit).
+    Wavelet,
     /// R/S pox-diagram slope.
     RsAnalysis,
     /// Variance-time plot slope.
@@ -37,6 +40,7 @@ impl std::fmt::Display for EstimatorKind {
         let name = match self {
             EstimatorKind::Whittle => "Whittle",
             EstimatorKind::LocalWhittle => "local Whittle",
+            EstimatorKind::Wavelet => "wavelet",
             EstimatorKind::RsAnalysis => "R/S",
             EstimatorKind::VarianceTime => "variance-time",
         };
@@ -140,9 +144,10 @@ fn adaptive_vt_options(n: usize) -> VtOptions {
     VtOptions { fit_min_m: if n >= 10_000 { 10 } else { 3 }, ..VtOptions::default() }
 }
 
-/// Runs the fallback chain Whittle → local Whittle → R/S → variance-time.
+/// Runs the fallback chain Whittle → local Whittle → wavelet → R/S →
+/// variance-time.
 ///
-/// All four estimators are attempted (their estimates feed the agreement
+/// All five estimators are attempted (their estimates feed the agreement
 /// diagnostic); the headline value comes from the first success in chain
 /// order. `Err` is returned only when *every* estimator fails — the
 /// global validation errors (empty/short/non-finite/constant input) are
@@ -160,14 +165,15 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
     check_non_constant(xs)?;
 
     let n = xs.len();
-    // The four ensemble members are independent; run them on the worker
+    // The five ensemble members are independent; run them on the worker
     // pool when the series is long enough to amortize the spawn cost
     // (work ≈ n per member). par_map returns results in chain order
     // regardless of which thread finishes first, so the headline choice
     // (first success in chain order) is identical to the serial run.
-    const CHAIN: [EstimatorKind; 4] = [
+    const CHAIN: [EstimatorKind; 5] = [
         EstimatorKind::Whittle,
         EstimatorKind::LocalWhittle,
+        EstimatorKind::Wavelet,
         EstimatorKind::RsAnalysis,
         EstimatorKind::VarianceTime,
     ];
@@ -179,6 +185,9 @@ pub fn robust_hurst_with(xs: &[f64], opts: &RobustOptions) -> Result<RobustHurst
                 }
                 EstimatorKind::LocalWhittle => {
                     try_local_whittle(xs, opts.bandwidth).map(|e| e.hurst)
+                }
+                EstimatorKind::Wavelet => {
+                    try_wavelet_hurst(xs, &WaveletOptions::default()).map(|e| e.hurst)
                 }
                 EstimatorKind::RsAnalysis => {
                     try_rs_analysis(xs, &adaptive_rs_options(n)).map(|e| e.hurst)
@@ -278,16 +287,17 @@ mod tests {
         let r = robust_hurst(&xs).unwrap();
         assert_eq!(r.by, EstimatorKind::Whittle);
         assert!((r.hurst - h).abs() < 0.12, "H {}", r.hurst);
-        // All four estimators should have answered on a clean long series.
-        assert_eq!(r.estimates.len(), 4, "failures: {:?}", r.failures);
+        // All five estimators should have answered on a clean long series.
+        assert_eq!(r.estimates.len(), 5, "failures: {:?}", r.failures);
         assert!(r.agrees_within(0.15), "spread {:?}", r.agreement);
     }
 
     #[test]
     fn short_series_falls_back_past_both_whittles() {
-        // 120 points: below the Whittle (128) and local Whittle (256)
-        // minimums, but enough for the adaptive R/S grid — the chain must
-        // degrade gracefully and say so.
+        // 120 points: below the Whittle (128), local Whittle (256) and
+        // wavelet (256 for the default octave range) minimums, but enough
+        // for the adaptive R/S grid — the chain must degrade gracefully
+        // and say so.
         let mut rng = Xoshiro256::seed_from_u64(7);
         let xs: Vec<f64> = (0..120).map(|_| rng.standard_normal()).collect();
         let r = robust_hurst(&xs).unwrap();
@@ -296,6 +306,7 @@ mod tests {
         let failed: Vec<EstimatorKind> = r.failures.iter().map(|&(k, _)| k).collect();
         assert!(failed.contains(&EstimatorKind::Whittle));
         assert!(failed.contains(&EstimatorKind::LocalWhittle));
+        assert!(failed.contains(&EstimatorKind::Wavelet));
         for (_, e) in &r.failures {
             assert!(
                 matches!(e, LrdError::Data(DataError::TooShort { .. })),
@@ -345,7 +356,7 @@ mod tests {
 
     #[test]
     fn attempts_record_every_chain_member() {
-        // Healthy long series: all four accepted, attempts mirror
+        // Healthy long series: all five accepted, attempts mirror
         // estimates exactly.
         let xs = DaviesHarte::new(0.8, 1.0).generate(65_536, 21);
         let r = robust_hurst(&xs).unwrap();
@@ -355,6 +366,7 @@ mod tests {
             [
                 EstimatorKind::Whittle,
                 EstimatorKind::LocalWhittle,
+                EstimatorKind::Wavelet,
                 EstimatorKind::RsAnalysis,
                 EstimatorKind::VarianceTime
             ]
@@ -366,11 +378,11 @@ mod tests {
 
         // Short series: the chain answers at R/S, but the attempt log
         // still records what happened to *every* member — including the
-        // two that failed before the answering one.
+        // three that failed before the answering one.
         let mut rng = Xoshiro256::seed_from_u64(7);
         let short: Vec<f64> = (0..120).map(|_| rng.standard_normal()).collect();
         let r = robust_hurst(&short).unwrap();
-        assert_eq!(r.attempts.len(), 4, "no member may be dropped");
+        assert_eq!(r.attempts.len(), 5, "no member may be dropped");
         let whittle = &r.attempts[0];
         assert!(!whittle.accepted());
         assert!(whittle.hurst.is_none());

@@ -28,6 +28,7 @@ pub mod metrics;
 pub mod mux;
 pub mod priority;
 pub mod shaping;
+pub mod source;
 pub mod qc;
 pub mod queue;
 pub mod smg;
@@ -43,6 +44,7 @@ pub use mux::{
 };
 pub use priority::{simulate_layered, LayeredResult, PriorityQueue};
 pub use shaping::{min_cbr_rate, smooth_to_cbr, SmoothingResult};
+pub use source::{required_capacity_model, run_source_queue, try_required_capacity_model, SourceRunStats};
 pub use qc::{qc_curve, AveragedLoss, LossMetric, LossTarget, MuxSim, QcPoint};
 pub use queue::{FluidQueue, QueueState};
 pub use smg::{smg_curve, SmgPoint};

@@ -57,6 +57,36 @@ pub trait ContinuousDist {
     }
 }
 
+/// References to a distribution are themselves distributions, so generic
+/// consumers can either own their target (`MarginalTransform<GammaPareto>`)
+/// or borrow it (`MarginalTransform<&GammaPareto>`) through one bound.
+impl<D: ContinuousDist + ?Sized> ContinuousDist for &D {
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+    fn pdf(&self, x: f64) -> f64 {
+        (**self).pdf(x)
+    }
+    fn cdf(&self, x: f64) -> f64 {
+        (**self).cdf(x)
+    }
+    fn quantile(&self, p: f64) -> f64 {
+        (**self).quantile(p)
+    }
+    fn mean(&self) -> f64 {
+        (**self).mean()
+    }
+    fn variance(&self) -> f64 {
+        (**self).variance()
+    }
+    fn ccdf(&self, x: f64) -> f64 {
+        (**self).ccdf(x)
+    }
+    fn sample(&self, rng: &mut dyn Rng) -> f64 {
+        (**self).sample(rng)
+    }
+}
+
 /// Draws `n` samples from a distribution.
 pub fn sample_n<D: ContinuousDist + ?Sized>(
     dist: &D,

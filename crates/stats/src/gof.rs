@@ -45,6 +45,44 @@ pub fn ks_p_value(d: f64, n: usize) -> f64 {
     (2.0 * p).clamp(0.0, 1.0)
 }
 
+/// The two-sample Kolmogorov–Smirnov statistic
+/// `D = sup_x |F̂_n(x) − Ĝ_m(x)|` between two empirical samples — the
+/// model-vs-trace comparison where neither side is a closed-form
+/// distribution.
+pub fn ks_two_sample(xs: &[f64], ys: &[f64]) -> f64 {
+    assert!(!xs.is_empty() && !ys.is_empty(), "KS of empty sample");
+    let sort = |v: &[f64]| {
+        let mut s = v.to_vec();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN in KS input"));
+        s
+    };
+    let (sx, sy) = (sort(xs), sort(ys));
+    let (n, m) = (sx.len() as f64, sy.len() as f64);
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut d = 0.0f64;
+    while i < sx.len() && j < sy.len() {
+        // Advance whichever sample has the smaller next value; ties move
+        // both so the gap is measured between the steps, not inside one.
+        let (x, y) = (sx[i], sy[j]);
+        if x <= y {
+            i += 1;
+        }
+        if y <= x {
+            j += 1;
+        }
+        d = d.max((i as f64 / n - j as f64 / m).abs());
+    }
+    d
+}
+
+/// Approximate p-value for the two-sample KS statistic via the same
+/// asymptotic Kolmogorov distribution with effective size
+/// `n_e = n·m/(n + m)`.
+pub fn ks_two_sample_p_value(d: f64, n: usize, m: usize) -> f64 {
+    let ne = (n as f64 * m as f64) / (n as f64 + m as f64);
+    ks_p_value(d, ne.round().max(1.0) as usize)
+}
+
 /// Pearson χ² statistic against a fitted distribution over `bins`
 /// equal-probability bins. Returns `(chi2, degrees of freedom)` with
 /// `dof = bins − 1 − params_fitted`.
@@ -107,6 +145,38 @@ mod tests {
     fn ks_p_value_extremes() {
         assert!(ks_p_value(0.001, 100) > 0.999);
         assert!(ks_p_value(0.5, 100) < 1e-6);
+    }
+
+    #[test]
+    fn ks_two_sample_same_distribution_is_small() {
+        let d = Normal::new(3.0, 1.5);
+        let mut rng = Xoshiro256::seed_from_u64(7);
+        let xs = sample_n(&d, 4_000, &mut rng);
+        let ys = sample_n(&d, 6_000, &mut rng);
+        let ks = ks_two_sample(&xs, &ys);
+        // Critical value ~1.36·√(1/n + 1/m) ≈ 0.028 at 5 %.
+        assert!(ks < 0.028, "D = {ks}");
+        assert!(ks_two_sample_p_value(ks, 4_000, 6_000) > 0.01);
+    }
+
+    #[test]
+    fn ks_two_sample_detects_shift() {
+        let mut rng = Xoshiro256::seed_from_u64(8);
+        let xs = sample_n(&Normal::new(0.0, 1.0), 3_000, &mut rng);
+        let ys = sample_n(&Normal::new(0.5, 1.0), 3_000, &mut rng);
+        let ks = ks_two_sample(&xs, &ys);
+        assert!(ks > 0.1, "D = {ks} should expose the shift");
+        assert!(ks_two_sample_p_value(ks, 3_000, 3_000) < 1e-6);
+    }
+
+    #[test]
+    fn ks_two_sample_matches_one_sample_on_exact_cdf_grid() {
+        // Against itself the statistic is 0.
+        let xs = vec![1.0, 2.0, 3.0, 4.0];
+        assert_eq!(ks_two_sample(&xs, &xs), 0.0);
+        // Disjoint supports give the maximal statistic 1.
+        let ys = vec![10.0, 11.0];
+        assert!((ks_two_sample(&xs, &ys) - 1.0).abs() < 1e-12);
     }
 
     #[test]

@@ -40,15 +40,15 @@ pub use acf::{autocorrelation, autocovariance};
 pub use error::{DataError, NumericError, StatsError};
 pub use ci::{mean_ci_iid, mean_ci_lrd, ConfidenceInterval};
 pub use descriptive::{quantile, Moments, TraceSummary};
-pub use gof::{chi_square, ks_p_value, ks_statistic};
+pub use gof::{chi_square, ks_p_value, ks_statistic, ks_two_sample, ks_two_sample_p_value};
 pub use histogram::{Ecdf, Histogram};
 pub use moving_average::{downsample, moving_average, trailing_average};
 pub use par::{num_threads, par_map, par_map_with, with_threads};
 pub use periodogram::Periodogram;
-pub use regression::{fit_line, fit_loglog, LineFit};
+pub use regression::{fit_line, fit_line_weighted, fit_loglog, LineFit};
 pub use rng::Xoshiro256;
 pub use snapshot::{ParamHasher, SnapshotError, SnapshotReader, SnapshotWriter};
 pub use special::{
     digamma, erf, erfc, gamma_p, gamma_q, ln_gamma, norm_cdf, norm_pdf, norm_quantile,
-    norm_quantile_slice,
+    norm_quantile_slice, trigamma,
 };

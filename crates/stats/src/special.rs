@@ -62,6 +62,35 @@ pub fn digamma(x: f64) -> f64 {
                                 - inv2 * (1.0 / 240.0 - inv2 * (1.0 / 132.0)))))
 }
 
+/// Trigamma function `ψ₁(x) = d²/dx² ln Γ(x)` — asymptotic series with
+/// upward recurrence (accurate to ~1e-12 for x > 0).
+///
+/// Needed by the Abry–Veitch wavelet estimator: for a chi-square variance
+/// estimate on `n` coefficients, `Var[log₂ V_j] = ψ₁(n/2) / ln²2`, which
+/// sets both the WLS weights and the small-sample bias term
+/// `(ψ(n/2) − ln(n/2)) / ln 2`.
+pub fn trigamma(x: f64) -> f64 {
+    assert!(x > 0.0, "trigamma requires x > 0, got {x}");
+    let mut x = x;
+    let mut acc = 0.0;
+    // Recurrence ψ₁(x) = ψ₁(x+1) + 1/x² until the asymptotic zone.
+    while x < 10.0 {
+        acc += 1.0 / (x * x);
+        x += 1.0;
+    }
+    // Asymptotic expansion ψ₁(x) ≈ 1/x + 1/(2x²) + Σ B_{2k}/x^{2k+1}.
+    let inv = 1.0 / x;
+    let inv2 = inv * inv;
+    acc + inv
+        + 0.5 * inv2
+        + inv2
+            * inv
+            * (1.0 / 6.0
+                - inv2
+                    * (1.0 / 30.0
+                        - inv2 * (1.0 / 42.0 - inv2 * (1.0 / 30.0 - inv2 * (5.0 / 66.0)))))
+}
+
 /// Regularised lower incomplete gamma `P(a, x) = γ(a, x) / Γ(a)`.
 ///
 /// Series expansion for `x < a + 1`, continued fraction otherwise
@@ -683,6 +712,36 @@ mod digamma_tests {
             let h = 1e-6;
             let numeric = (ln_gamma(x + h) - ln_gamma(x - h)) / (2.0 * h);
             assert!((digamma(x) - numeric).abs() < 1e-6, "x = {x}");
+        }
+    }
+
+    #[test]
+    fn trigamma_known_values() {
+        let pi = std::f64::consts::PI;
+        // ψ₁(1) = π²/6
+        assert!((trigamma(1.0) - pi * pi / 6.0).abs() < 1e-12);
+        // ψ₁(1/2) = π²/2
+        assert!((trigamma(0.5) - pi * pi / 2.0).abs() < 1e-12);
+        // ψ₁(2) = π²/6 − 1
+        assert!((trigamma(2.0) - (pi * pi / 6.0 - 1.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn trigamma_recurrence() {
+        for &x in &[0.4, 1.3, 6.5, 37.0] {
+            assert!(
+                (trigamma(x + 1.0) - trigamma(x) + 1.0 / (x * x)).abs() < 1e-11,
+                "x = {x}"
+            );
+        }
+    }
+
+    #[test]
+    fn trigamma_is_digamma_derivative() {
+        for &x in &[0.9, 2.5, 15.0] {
+            let h = 1e-6;
+            let numeric = (digamma(x + h) - digamma(x - h)) / (2.0 * h);
+            assert!((trigamma(x) - numeric).abs() < 1e-5, "x = {x}");
         }
     }
 }

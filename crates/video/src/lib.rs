@@ -28,6 +28,7 @@ pub mod huffman;
 pub mod interframe;
 pub mod quant;
 pub mod rle;
+pub mod scene_model;
 pub mod scenes;
 pub mod screenplay;
 pub mod synth;
@@ -39,6 +40,7 @@ pub use error::TraceError;
 pub use interframe::{train_interframe, FrameKind, InterframeCoder};
 pub use frame::Frame;
 pub use quant::Quantizer;
+pub use scene_model::{SceneChainConfig, SceneChainModel};
 pub use scenes::{detect_scenes, summarize_scenes, Scene, SceneDetectOptions, SceneSummary};
 pub use screenplay::{
     generate as generate_screenplay, generate_batch as generate_screenplay_batch, Genre,

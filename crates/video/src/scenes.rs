@@ -46,11 +46,16 @@ pub fn detect_scenes(frame_series: &[f64], opts: &SceneDetectOptions) -> Vec<Sce
     let n = frame_series.len();
     let w = opts.window;
     assert!(w >= 2, "window too small");
+    // Empty input → empty segmentation: there is no scene, not a
+    // zero-length one (which would poison every downstream average).
+    if n == 0 {
+        return Vec::new();
+    }
     if n < 4 * w {
         return vec![Scene {
             start: 0,
             len: n,
-            level: frame_series.iter().sum::<f64>() / n.max(1) as f64,
+            level: frame_series.iter().sum::<f64>() / n as f64,
         }];
     }
 
@@ -126,8 +131,14 @@ pub struct SceneSummary {
 }
 
 /// Summarises a segmentation.
+///
+/// Panics on an empty segmentation (there is nothing to summarise — and
+/// since [`detect_scenes`] now returns `[]` only for an empty series,
+/// callers should check emptiness first). A degenerate segmentation whose
+/// mean level is zero gets `level_cov = 0` rather than NaN: with no mass
+/// at all there is no level variation to speak of.
 pub fn summarize_scenes(scenes: &[Scene]) -> SceneSummary {
-    assert!(!scenes.is_empty());
+    assert!(!scenes.is_empty(), "summarize_scenes: empty segmentation");
     let count = scenes.len();
     let mean_len = scenes.iter().map(|s| s.len as f64).sum::<f64>() / count as f64;
     let mut lens: Vec<f64> = scenes.iter().map(|s| s.len as f64).collect();
@@ -135,7 +146,8 @@ pub fn summarize_scenes(scenes: &[Scene]) -> SceneSummary {
     let median_len = lens[count / 2];
     let lm = scenes.iter().map(|s| s.level).sum::<f64>() / count as f64;
     let lv = scenes.iter().map(|s| (s.level - lm).powi(2)).sum::<f64>() / count as f64;
-    SceneSummary { count, mean_len, median_len, level_cov: lv.sqrt() / lm }
+    let level_cov = if lm != 0.0 { lv.sqrt() / lm } else { 0.0 };
+    SceneSummary { count, mean_len, median_len, level_cov }
 }
 
 #[cfg(test)]
@@ -209,6 +221,29 @@ mod tests {
         let scenes = detect_scenes(&xs, &SceneDetectOptions::default());
         assert_eq!(scenes.len(), 1);
         assert_eq!(scenes[0].len, 50);
+    }
+
+    #[test]
+    fn empty_series_is_empty_segmentation() {
+        let scenes = detect_scenes(&[], &SceneDetectOptions::default());
+        assert!(scenes.is_empty(), "{scenes:?}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty segmentation")]
+    fn summarize_rejects_empty_segmentation() {
+        summarize_scenes(&[]);
+    }
+
+    #[test]
+    fn zero_level_scenes_get_zero_cov_not_nan() {
+        let scenes = vec![
+            Scene { start: 0, len: 30, level: 0.0 },
+            Scene { start: 30, len: 40, level: 0.0 },
+        ];
+        let s = summarize_scenes(&scenes);
+        assert_eq!(s.level_cov, 0.0);
+        assert!(!s.level_cov.is_nan());
     }
 
     #[test]

@@ -55,20 +55,24 @@ pub use vbr_video::Trace;
 pub mod prelude {
     pub use vbr_fgn::{
         BlockSource, DaviesHarte, FarimaStream, FgnError, FgnStream, Hosking,
-        MarginalTransform, RobustFgn, TableMode,
+        MarginalTransform, MwmConfig, MwmModel, RobustFgn, TableMode, TraceReplay,
+        TrafficModel,
     };
     pub use vbr_lrd::{
-        hurst_report, robust_hurst, rs_analysis, variance_time, whittle_log, EstimatorKind,
-        HurstReport, LrdError, ReportOptions, RobustHurst, RsOptions, VtOptions,
+        hurst_report, robust_hurst, rs_analysis, variance_time, wavelet_hurst, whittle_log,
+        EstimatorKind, HurstReport, LrdError, ReportOptions, RobustHurst, RsOptions, VtOptions,
+        WaveletOptions,
     };
     pub use vbr_model::{
-        estimate_trace, try_estimate_series, try_estimate_trace, EstimateOptions, HurstMethod,
+        bakeoff_for_trace, estimate_model, estimate_trace, model_zoo, try_estimate_series,
+        try_estimate_trace, BakeoffOptions, EstimateOptions, FarimaGpModel, HurstMethod,
         ModelError, ModelParams, SourceModel,
     };
     pub use vbr_qsim::{
-        qc_curve, smg_curve, ArrivalCursor, FluidQueue, LossMetric, LossTarget, MuxSim,
-        QsimError,
+        qc_curve, required_capacity_model, smg_curve, ArrivalCursor, FluidQueue, LossMetric,
+        LossTarget, MuxSim, QsimError,
     };
+    pub use vbr_video::SceneChainModel;
     pub use vbr_stats::dist::{ContinuousDist, Gamma, GammaPareto, Lognormal, Normal, Pareto};
     pub use vbr_stats::{Moments, TraceSummary, Xoshiro256};
     pub use vbr_video::{

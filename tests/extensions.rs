@@ -44,7 +44,7 @@ fn extended_estimators_agree_on_fgn() {
     let h = 0.8;
     let xs = DaviesHarte::new(h, 1.0).generate(100_000, 3);
     let lw = vbr::lrd::local_whittle(&xs, None);
-    let wv = vbr::lrd::wavelet_hurst(&xs, 2, None);
+    let wv = vbr::lrd::wavelet_hurst(&xs, Some(2), None);
     let vt = variance_time(&xs, &VtOptions::default());
     for (name, est) in [("local Whittle", lw.hurst), ("wavelet", wv.hurst), ("VT", vt.hurst)]
     {
